@@ -1,0 +1,136 @@
+package unifdist_test
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	unifdist "github.com/unifdist/unifdist"
+	"github.com/unifdist/unifdist/internal/experiment"
+)
+
+// The benchmarks below regenerate the experiment tables of DESIGN.md /
+// EXPERIMENTS.md, one per reproduced theorem. Each benchmark iteration is
+// one full quick-mode experiment; set UNIFDIST_BENCH_VERBOSE=1 to print the
+// tables while benchmarking.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiment.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var out io.Writer = io.Discard
+	if os.Getenv("UNIFDIST_BENCH_VERBOSE") != "" {
+		out = os.Stdout
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl, err := e.Run(experiment.Quick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tbl.Render(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1GapTester(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2ANDRule(b *testing.B)        { benchExperiment(b, "E2") }
+func BenchmarkE3Threshold(b *testing.B)      { benchExperiment(b, "E3") }
+func BenchmarkE4BelowBound(b *testing.B)     { benchExperiment(b, "E4") }
+func BenchmarkE5Asymmetric(b *testing.B)     { benchExperiment(b, "E5") }
+func BenchmarkE6TokenPackaging(b *testing.B) { benchExperiment(b, "E6") }
+func BenchmarkE7Congest(b *testing.B)        { benchExperiment(b, "E7") }
+func BenchmarkE8Local(b *testing.B)          { benchExperiment(b, "E8") }
+func BenchmarkE9SMPEquality(b *testing.B)    { benchExperiment(b, "E9") }
+func BenchmarkE10Baseline(b *testing.B)      { benchExperiment(b, "E10") }
+func BenchmarkE11Reduction(b *testing.B)     { benchExperiment(b, "E11") }
+func BenchmarkE12Ablation(b *testing.B)      { benchExperiment(b, "E12") }
+func BenchmarkE13Theorem71(b *testing.B)     { benchExperiment(b, "E13") }
+func BenchmarkE14SMPBaselines(b *testing.B)  { benchExperiment(b, "E14") }
+func BenchmarkE15Placement(b *testing.B)     { benchExperiment(b, "E15") }
+
+// Micro-benchmarks of the library's hot paths, for profiling regressions.
+
+func BenchmarkSingleCollisionRun(b *testing.B) {
+	const n = 1 << 20
+	sc, err := unifdist.NewSingleCollision(n, 0.01, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := unifdist.NewUniform(n)
+	r := unifdist.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = unifdist.RunTester(sc, u, r)
+	}
+}
+
+func BenchmarkThresholdNetworkTrial(b *testing.B) {
+	const (
+		n = 1 << 16
+		k = 2000
+	)
+	cfg, err := unifdist.SolveThreshold(n, k, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := unifdist.BuildThreshold(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := unifdist.NewUniform(n)
+	r := unifdist.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = nw.Run(u, r)
+	}
+}
+
+func BenchmarkCongestUniformityRun(b *testing.B) {
+	const (
+		n = 1 << 12
+		k = 400
+	)
+	p, err := unifdist.SolveCongestCalibrated(n, k, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := unifdist.NewGrid(20, 20)
+	u := unifdist.NewUniform(n)
+	r := unifdist.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := unifdist.RunCongestOnDistribution(g, u, p, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLubyMISGrid(b *testing.B) {
+	g := unifdist.NewGrid(20, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := unifdist.LubyMIS(g, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEqualityProtocol(b *testing.B) {
+	e, err := unifdist.NewEquality(1024, 0.01, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := unifdist.NewRNG(1)
+	x := make([]byte, 128)
+	y := make([]byte, 128)
+	y[5] = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(x, y, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

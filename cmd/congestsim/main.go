@@ -1,0 +1,228 @@
+// Command congestsim runs one CONGEST (or LOCAL) distributed uniformity
+// test on a chosen topology and prints the execution summary: elected
+// root, packages formed, rejecting virtual nodes, rounds, and message
+// accounting.
+//
+// Usage:
+//
+//	congestsim [-model congest|local] [-topology random|line|ring|grid|star|tree]
+//	           [-k 2000] [-n 4096] [-eps 1.0] [-dist uniform|twobump|zipf|halfsupport]
+//	           [-seed 1] [-packaging] [-tau 0] [-radius 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/unifdist/unifdist/internal/congest"
+	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/graph"
+	"github.com/unifdist/unifdist/internal/local"
+	"github.com/unifdist/unifdist/internal/rng"
+	"github.com/unifdist/unifdist/internal/simnet"
+	"github.com/unifdist/unifdist/internal/tester"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "congestsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("congestsim", flag.ContinueOnError)
+	var (
+		model    = fs.String("model", "congest", "congest or local")
+		topology = fs.String("topology", "random", "random, line, ring, grid, star or tree")
+		k        = fs.Int("k", 2000, "number of network nodes")
+		n        = fs.Int("n", 4096, "domain size")
+		eps      = fs.Float64("eps", 1.0, "L1 distance parameter")
+		distName = fs.String("dist", "uniform", "uniform, twobump, zipf or halfsupport")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		pkgOnly  = fs.Bool("packaging", false, "run τ-token packaging only (Theorem 5.1)")
+		tau      = fs.Int("tau", 0, "package size (0 = solver's choice)")
+		radius   = fs.Int("radius", 0, "LOCAL gathering radius (0 = solver's choice)")
+		trace    = fs.Bool("trace", false, "print a per-round traffic summary (CONGEST model)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := buildTopology(*topology, *k, *seed)
+	if err != nil {
+		return err
+	}
+	d, err := buildDistribution(*distName, *n, *eps, *seed)
+	if err != nil {
+		return err
+	}
+	r := rng.New(*seed)
+	tokens := make([]uint64, g.N())
+	for i := range tokens {
+		tokens[i] = uint64(d.Sample(r))
+	}
+	fmt.Printf("topology: %s (k=%d, D=%d)\n", g.Name(), g.N(), g.Diameter())
+	fmt.Printf("input: %s (true distance from uniform: %.4g)\n", d.Name(), dist.L1FromUniform(d))
+
+	switch *model {
+	case "congest":
+		return runCongest(g, tokens, *n, *k, *eps, *tau, *pkgOnly, *trace, r)
+	case "local":
+		return runLocal(g, tokens, *n, *k, *eps, *radius, r)
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+}
+
+func runCongest(g *graph.Graph, tokens []uint64, n, k int, eps float64, tau int, pkgOnly, trace bool, r *rng.RNG) error {
+	var tracer *simnet.SummaryTracer
+	if trace {
+		tracer = &simnet.SummaryTracer{}
+	}
+	dumpTrace := func() error {
+		if tracer == nil {
+			return nil
+		}
+		fmt.Println("\nper-round traffic:")
+		return tracer.Dump(os.Stdout)
+	}
+	if pkgOnly {
+		if tau == 0 {
+			tau = 8
+		}
+		res, err := congest.RunTokenPackagingTraced(g, tokens, tau, r.Uint64(), tracerOrNil(tracer))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("token packaging: τ=%d\n", tau)
+		fmt.Printf("  root (max ID): %d\n", res.Root)
+		fmt.Printf("  packages: %d, discarded: %d (≤ τ−1 = %d)\n", len(res.Packages), res.Discarded, tau-1)
+		fmt.Printf("  rounds: %d, messages: %d, bytes: %d, max message: %dB\n",
+			res.Stats.Rounds, res.Stats.Messages, res.Stats.Bytes, res.Stats.MaxMessageBytes)
+		return dumpTrace()
+	}
+	p, err := congest.SolveParamsCalibrated(n, k, eps)
+	if err != nil {
+		return err
+	}
+	if tau != 0 && tau != p.Tau {
+		// Re-derive the per-package error and threshold for the overridden
+		// package size (midpoint between the expected rejecting-package
+		// counts under uniform and far inputs).
+		p.Tau = tau
+		p.Delta = float64(tau) * float64(tau-1) / (2 * float64(n))
+		ell := k / tau
+		pU := 1 - tester.UniformNoCollisionProb(n, tau)
+		pF := tester.FarRejectPoisson(n, tau, eps)
+		p.EtaUniform = float64(ell) * pU
+		p.EtaFar = float64(ell) * pF
+		p.T = int((p.EtaUniform+p.EtaFar)/2) + 1
+		p.VirtualNodes = ell
+		p.Feasible = false // overridden by hand; no solver guarantee
+	}
+	fmt.Printf("params: τ=%d, T=%d, δ=%.4g, feasible=%v, calibrated=%v\n",
+		p.Tau, p.T, p.Delta, p.Feasible, p.Calibrated)
+	res, err := congest.RunUniformityTraced(g, tokens, p, r.Uint64(), tracerOrNil(tracer))
+	if err != nil {
+		return err
+	}
+	verdict := "UNIFORM (accept)"
+	if !res.Accept {
+		verdict = "FAR FROM UNIFORM (reject)"
+	}
+	fmt.Printf("verdict: %s\n", verdict)
+	fmt.Printf("  root: %d, rejecting packages: %d/%d (threshold T=%d)\n",
+		res.Root, res.Rejects, res.Virtuals, p.T)
+	fmt.Printf("  rounds: %d, messages: %d, bytes: %d, max message: %dB\n",
+		res.Stats.Rounds, res.Stats.Messages, res.Stats.Bytes, res.Stats.MaxMessageBytes)
+	return dumpTrace()
+}
+
+// tracerOrNil avoids handing a typed-nil interface to the simulator.
+func tracerOrNil(t *simnet.SummaryTracer) simnet.Tracer {
+	if t == nil {
+		return nil
+	}
+	return t
+}
+
+func runLocal(g *graph.Graph, tokens []uint64, n, k int, eps float64, radius int, r *rng.RNG) error {
+	p := local.Params{N: n, K: k, Eps: eps, P: 1.0 / 3, R: radius}
+	if radius == 0 {
+		solved, err := local.SolveLocal(n, k, eps, 1.0/3)
+		if err != nil {
+			return err
+		}
+		p = solved
+	}
+	if p.AND.M == 0 {
+		p.AND.M = 1
+	}
+	fmt.Printf("params: r=%d, virtual nodes ≤ %d, m=%d, feasible=%v\n",
+		p.R, 2*k/maxInt(p.R, 1), p.AND.M, p.Feasible)
+	res, err := local.RunUniformity(g, tokens, p, r.Uint64())
+	if err != nil {
+		return err
+	}
+	verdict := "UNIFORM (accept)"
+	if !res.Accept {
+		verdict = "FAR FROM UNIFORM (reject)"
+	}
+	fmt.Printf("verdict: %s\n", verdict)
+	fmt.Printf("  MIS nodes: %d, rejecting: %d\n", res.MISNodes, res.Rejecting)
+	fmt.Printf("  samples per MIS node: min %d, max %d (guarantee ≥ r/2 = %d)\n",
+		res.MinSamples, res.MaxSamples, p.R/2)
+	fmt.Printf("  total cost: %d G-rounds\n", res.GRounds)
+	return nil
+}
+
+func buildTopology(name string, k int, seed uint64) (*graph.Graph, error) {
+	switch name {
+	case "random":
+		return graph.NewRandomConnected(k, 6.0/float64(k), seed), nil
+	case "line":
+		return graph.NewLine(k), nil
+	case "ring":
+		return graph.NewRing(k), nil
+	case "grid":
+		cols := 1
+		for cols*cols < k {
+			cols++
+		}
+		rows := (k + cols - 1) / cols
+		return graph.NewGrid(rows, cols), nil
+	case "star":
+		return graph.NewStar(k), nil
+	case "tree":
+		return graph.NewBalancedTree(k, 2), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+func buildDistribution(name string, n int, eps float64, seed uint64) (dist.Distribution, error) {
+	switch name {
+	case "uniform":
+		return dist.NewUniform(n), nil
+	case "twobump":
+		if eps <= 0 || eps > 1 {
+			eps = 1
+		}
+		return dist.NewTwoBump(n, eps, seed), nil
+	case "zipf":
+		return dist.NewZipf(n, 1.2), nil
+	case "halfsupport":
+		return dist.NewHalfSupport(n), nil
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", name)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCongestSmoke(t *testing.T) {
+	if err := run([]string{"-k", "80", "-n", "4096", "-topology", "random"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPackagingSmoke(t *testing.T) {
+	if err := run([]string{"-k", "50", "-packaging", "-tau", "4", "-topology", "tree"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLocalSmoke(t *testing.T) {
+	if err := run([]string{"-model", "local", "-k", "60", "-n", "1048576", "-radius", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceSmoke(t *testing.T) {
+	if err := run([]string{"-k", "40", "-trace", "-topology", "ring"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{name: "bad model", args: []string{"-model", "bogus"}, want: "unknown model"},
+		{name: "bad topology", args: []string{"-topology", "bogus"}, want: "unknown topology"},
+		{name: "bad dist", args: []string{"-dist", "bogus"}, want: "unknown distribution"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBuildTopologies(t *testing.T) {
+	for _, name := range []string{"random", "line", "ring", "grid", "star", "tree"} {
+		g, err := buildTopology(name, 30, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.N() < 30 {
+			t.Errorf("%s: %d nodes, want ≥ 30", name, g.N())
+		}
+		if !g.IsConnected() {
+			t.Errorf("%s: disconnected", name)
+		}
+	}
+}
+
+func TestBuildDistributions(t *testing.T) {
+	for _, name := range []string{"uniform", "twobump", "zipf", "halfsupport"} {
+		d, err := buildDistribution(name, 64, 1, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.N() != 64 {
+			t.Errorf("%s: domain %d", name, d.N())
+		}
+	}
+}

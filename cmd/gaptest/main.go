@@ -1,0 +1,162 @@
+// Command gaptest runs a centralized uniformity tester on synthetic
+// samples and reports empirical acceptance statistics against the paper's
+// guarantees.
+//
+// Usage:
+//
+//	gaptest [-tester single|amplified|counting] [-n 65536] [-delta 0.05]
+//	        [-eps 1.0] [-m 3] [-dist uniform|twobump|zipf|halfsupport]
+//	        [-trials 10000] [-seed 1]
+//	gaptest -stdin [-tester ...] [-n 65536]   # read whitespace-separated samples
+//
+// With -stdin, samples are read as whitespace-separated integers in
+// [0, n) and the tester runs once on consecutive windows of its sample
+// size, reporting the fraction of rejecting windows.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/rng"
+	"github.com/unifdist/unifdist/internal/tester"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gaptest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gaptest", flag.ContinueOnError)
+	var (
+		testerName = fs.String("tester", "single", "single, amplified or counting")
+		n          = fs.Int("n", 1<<16, "domain size")
+		delta      = fs.Float64("delta", 0.05, "completeness error δ of A_δ")
+		eps        = fs.Float64("eps", 1.0, "L1 distance parameter")
+		m          = fs.Int("m", 3, "repetitions (amplified tester)")
+		distName   = fs.String("dist", "twobump", "uniform, twobump, zipf or halfsupport")
+		trials     = fs.Int("trials", 10000, "number of independent runs")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		stdin      = fs.Bool("stdin", false, "read samples from standard input instead of generating them")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		tst tester.Tester
+		err error
+	)
+	switch *testerName {
+	case "single":
+		var sc *tester.SingleCollision
+		sc, err = tester.NewSingleCollision(*n, *delta, *eps)
+		if err == nil {
+			p := sc.Params()
+			fmt.Printf("single-collision tester A_δ: s=%d, realized δ=%.4g, γ=%.4g, gap=%.4g, rigorous=%v\n",
+				p.S, p.Delta, p.Gamma, p.Alpha, p.Rigorous)
+			tst = sc
+		}
+	case "amplified":
+		var am *tester.Amplified
+		am, err = tester.NewAmplified(*n, *delta, *eps, *m)
+		if err == nil {
+			fmt.Printf("amplified tester: m=%d, samples=%d, completeness error=%.4g, gap=%.4g\n",
+				am.Repetitions(), am.SampleSize(), am.CompletenessError(), am.Gap())
+			tst = am
+		}
+	case "counting":
+		var cc *tester.CollisionCounting
+		cc, err = tester.NewCollisionCounting(*n, *eps, 0)
+		if err == nil {
+			fmt.Printf("collision-counting baseline: s=%d, threshold=%.4g\n",
+				cc.SampleSize(), cc.Threshold())
+			tst = cc
+		}
+	default:
+		return fmt.Errorf("unknown tester %q", *testerName)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *stdin {
+		return runOnStdin(tst, *n)
+	}
+
+	d, err := buildDistribution(*distName, *n, *eps, *seed)
+	if err != nil {
+		return err
+	}
+	r := rng.New(*seed)
+	fmt.Printf("input: %s (distance from uniform: %.4g)\n", d.Name(), dist.L1FromUniform(d))
+	rej := tester.EstimateRejectProb(tst, d, *trials, r)
+	fmt.Printf("rejection probability over %d trials: %.4f\n", *trials, rej)
+	u := dist.NewUniform(*n)
+	rejU := tester.EstimateRejectProb(tst, u, *trials, r)
+	fmt.Printf("rejection probability on uniform:     %.4f\n", rejU)
+	if rejU > 0 {
+		fmt.Printf("empirical gap: %.3f\n", rej/rejU)
+	}
+	return nil
+}
+
+// runOnStdin slides the tester over consecutive windows of piped samples.
+func runOnStdin(tst tester.Tester, n int) error {
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	scanner.Split(bufio.ScanWords)
+	var samples []int
+	for scanner.Scan() {
+		v, err := strconv.Atoi(scanner.Text())
+		if err != nil {
+			return fmt.Errorf("parse sample %q: %w", scanner.Text(), err)
+		}
+		if v < 0 || v >= n {
+			return fmt.Errorf("sample %d outside domain [0, %d)", v, n)
+		}
+		samples = append(samples, v)
+	}
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	s := tst.SampleSize()
+	if len(samples) < s {
+		return fmt.Errorf("got %d samples, tester needs at least %d", len(samples), s)
+	}
+	windows, rejects := 0, 0
+	for i := 0; i+s <= len(samples); i += s {
+		windows++
+		if !tst.Test(samples[i : i+s]) {
+			rejects++
+		}
+	}
+	fmt.Printf("%d samples -> %d windows of %d\n", len(samples), windows, s)
+	fmt.Printf("rejecting windows: %d/%d (%.3f)\n", rejects, windows, float64(rejects)/float64(windows))
+	return nil
+}
+
+func buildDistribution(name string, n int, eps float64, seed uint64) (dist.Distribution, error) {
+	switch name {
+	case "uniform":
+		return dist.NewUniform(n), nil
+	case "twobump":
+		if eps <= 0 || eps > 1 {
+			eps = 1
+		}
+		return dist.NewTwoBump(n, eps, seed), nil
+	case "zipf":
+		return dist.NewZipf(n, 1.2), nil
+	case "halfsupport":
+		return dist.NewHalfSupport(n), nil
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", name)
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleTester(t *testing.T) {
+	if err := run([]string{"-tester", "single", "-n", "4096", "-trials", "200"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAmplifiedTester(t *testing.T) {
+	if err := run([]string{"-tester", "amplified", "-n", "4096", "-m", "2", "-trials", "100"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCountingTester(t *testing.T) {
+	if err := run([]string{"-tester", "counting", "-n", "4096", "-trials", "50"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownTester(t *testing.T) {
+	err := run([]string{"-tester", "bogus"})
+	if err == nil || !strings.Contains(err.Error(), "unknown tester") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunUnknownDistribution(t *testing.T) {
+	err := run([]string{"-dist", "bogus", "-trials", "10"})
+	if err == nil || !strings.Contains(err.Error(), "unknown distribution") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunBadDelta(t *testing.T) {
+	if err := run([]string{"-delta", "2"}); err == nil {
+		t.Fatal("delta=2 accepted")
+	}
+}

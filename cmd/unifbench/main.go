@@ -1,0 +1,99 @@
+// Command unifbench regenerates the experiment tables E1–E11 that
+// reproduce every theorem of "Distributed Uniformity Testing" (PODC 2018).
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// results.
+//
+// Usage:
+//
+//	unifbench [-mode quick|full] [-run E1,E3,...] [-csv] [-seed N] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/unifdist/unifdist/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "unifbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("unifbench", flag.ContinueOnError)
+	var (
+		modeFlag = fs.String("mode", "quick", "experiment scale: quick or full")
+		runFlag  = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		csvFlag  = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		mdFlag   = fs.Bool("markdown", false, "emit markdown tables instead of aligned text")
+		seedFlag = fs.Uint64("seed", 1, "root random seed")
+		listFlag = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *listFlag {
+		for _, e := range experiment.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Description)
+		}
+		return nil
+	}
+
+	var mode experiment.Mode
+	switch *modeFlag {
+	case "quick":
+		mode = experiment.Quick
+	case "full":
+		mode = experiment.Full
+	default:
+		return fmt.Errorf("unknown mode %q (want quick or full)", *modeFlag)
+	}
+
+	var selected []experiment.Experiment
+	if *runFlag == "" {
+		selected = experiment.All()
+	} else {
+		for _, id := range strings.Split(*runFlag, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiment.Lookup(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tbl, err := e.Run(mode, *seedFlag)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *csvFlag {
+			if err := tbl.RenderCSV(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			continue
+		}
+		if *mdFlag {
+			if err := tbl.RenderMarkdown(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			continue
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("(%s completed in %v, mode=%s)\n\n", e.ID, time.Since(start).Round(time.Millisecond), mode)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/unifdist/unifdist
+
+go 1.22

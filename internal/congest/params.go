@@ -1,0 +1,144 @@
+package congest
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/unifdist/unifdist/internal/tester"
+)
+
+// Params holds the resolved parameters of the CONGEST uniformity protocol
+// (Theorem 1.4): τ-token packaging followed by the threshold tester of
+// Theorem 1.2 over ℓ ≈ k/τ virtual nodes with τ samples each.
+type Params struct {
+	// N is the domain size, K the network size, Eps the distance parameter.
+	N, K int
+	Eps  float64
+	// Tau is the package size τ = Θ(n/(kε⁴)).
+	Tau int
+	// Delta is a package's completeness error C(τ,2)/n.
+	Delta float64
+	// T is the rejection threshold over virtual nodes.
+	T int
+	// VirtualNodes is the planned number of packages ⌊k/τ⌋.
+	VirtualNodes int
+	// EtaUniform and EtaFar are the expected rejecting-package counts under
+	// uniform and (guaranteed, worst-case) ε-far inputs.
+	EtaUniform, EtaFar float64
+	// Gamma is the realized slack of the per-package tester.
+	Gamma float64
+	// Feasible reports whether eq. (5)'s window contains the integer T.
+	Feasible bool
+	// Calibrated reports that the far-side probability model is the
+	// canonical two-bump Poisson estimate rather than the worst-case
+	// Lemma 3.3 bound (see DESIGN.md §3.1). Calibrated parameters need far
+	// fewer nodes but guarantee the error bound only for instances whose
+	// collision probability is ≈ (1+ε²)/n.
+	Calibrated bool
+}
+
+// SolveParams finds the smallest package size τ for which the virtual-node
+// threshold tester is feasible. Growing τ raises each package's rejection
+// mass quadratically while shrinking the package count linearly, so the
+// total mass ℓ·δ ≈ k(τ−1)/(2n) grows with τ; the tradeoff against the
+// slack γ mirrors SolveThreshold.
+func SolveParams(n, k int, eps float64) (Params, error) {
+	return solveParams(n, k, eps, false)
+}
+
+// SolveParamsCalibrated is SolveParams with the far-side probability
+// modeled by the canonical two-bump Poisson estimate (collision probability
+// exactly (1+ε²)/n) instead of the worst-case Lemma 3.3 bound. It is
+// feasible at much smaller network sizes and is what the quick experiment
+// mode uses; see DESIGN.md §3.1.
+func SolveParamsCalibrated(n, k int, eps float64) (Params, error) {
+	return solveParams(n, k, eps, true)
+}
+
+func solveParams(n, k int, eps float64, calibrated bool) (Params, error) {
+	if k < 2 {
+		return Params{}, fmt.Errorf("congest: k=%d < 2", k)
+	}
+	if eps <= 0 || eps > 2 {
+		return Params{}, fmt.Errorf("congest: eps=%v outside (0, 2]", eps)
+	}
+	ln3 := math.Log(3)
+	eval := func(tau int) (Params, float64) {
+		delta := float64(tau) * float64(tau-1) / (2 * float64(n))
+		if delta >= 1 {
+			return Params{}, math.Inf(-1)
+		}
+		ell := k / tau
+		if ell < 1 {
+			return Params{}, math.Inf(-1)
+		}
+		gp, err := tester.SolveGap(n, delta, eps)
+		if err != nil {
+			return Params{}, math.Inf(-1)
+		}
+		pU := 1 - tester.UniformNoCollisionProb(n, tau)
+		pFar := tester.FarRejectLowerBound(n, tau, eps)
+		if calibrated {
+			pFar = tester.FarRejectPoisson(n, tau, eps)
+		}
+		etaU := float64(ell) * pU
+		etaFar := float64(ell) * pFar
+		lower := etaU + math.Sqrt(3*ln3*etaU)
+		upper := etaFar - math.Sqrt(2*ln3*math.Max(etaFar, 0))
+		t := int(math.Ceil((lower + upper) / 2))
+		if t < 1 {
+			t = 1
+		}
+		p := Params{
+			N:            n,
+			K:            k,
+			Eps:          eps,
+			Tau:          tau,
+			Delta:        delta,
+			T:            t,
+			VirtualNodes: ell,
+			EtaUniform:   etaU,
+			EtaFar:       etaFar,
+			Gamma:        gp.Gamma,
+			Feasible: lower <= upper &&
+				float64(t) >= lower && float64(t) <= upper,
+			Calibrated: calibrated,
+		}
+		return p, upper - lower
+	}
+
+	var (
+		best       Params
+		bestWindow = math.Inf(-1)
+		found      bool
+	)
+	maxTau := k / 2
+	if maxTau < 2 {
+		maxTau = 2
+	}
+	for tau := 2; tau <= maxTau; tau++ {
+		p, window := eval(tau)
+		if p.Tau == 0 {
+			continue
+		}
+		if p.Feasible {
+			return p, nil
+		}
+		if !found || window > bestWindow {
+			found = true
+			bestWindow = window
+			best = p
+		}
+	}
+	if !found {
+		return Params{}, fmt.Errorf("congest: no parameters for n=%d k=%d eps=%v", n, k, eps)
+	}
+	return best, nil
+}
+
+// PredictedTau returns the paper's asymptotic package size n/(kε⁴), used by
+// the experiment tables to compare the solver's τ against the theorem's
+// scaling.
+func PredictedTau(n, k int, eps float64) float64 {
+	return float64(n) / (float64(k) * math.Pow(eps, 4))
+}

@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/unifdist/unifdist/internal/rng"
+)
+
+// This file holds the secondary distribution constructors and the
+// sample-based estimators used by the examples and the experiment harness.
+
+// NewDiscretizedGaussian returns a Gaussian N(mean, sigma²) discretized
+// onto {0, …, n−1} (mass outside the range is clipped onto the edge bins'
+// integral). It models the "measurements subject to Gaussian noise"
+// scenario from the paper's introduction.
+func NewDiscretizedGaussian(n int, mean, sigma float64) *Histogram {
+	if n <= 0 {
+		panic("dist: NewDiscretizedGaussian requires n > 0")
+	}
+	if sigma <= 0 {
+		panic("dist: NewDiscretizedGaussian requires sigma > 0")
+	}
+	p := make([]float64, n)
+	for i := range p {
+		d := (float64(i) - mean) / sigma
+		p[i] = math.Exp(-d * d / 2)
+	}
+	return MustHistogram(p, fmt.Sprintf("gaussian(n=%d,µ=%.3g,σ=%.3g)", n, mean, sigma))
+}
+
+// NewMixture returns w·a + (1−w)·b for distributions on the same domain.
+func NewMixture(a, b Distribution, w float64) (*Histogram, error) {
+	if a.N() != b.N() {
+		return nil, fmt.Errorf("dist: mixture over mismatched domains %d and %d", a.N(), b.N())
+	}
+	if w < 0 || w > 1 {
+		return nil, fmt.Errorf("dist: mixture weight %v outside [0, 1]", w)
+	}
+	p := make([]float64, a.N())
+	for i := range p {
+		p[i] = w*a.Prob(i) + (1-w)*b.Prob(i)
+	}
+	return NewHistogram(p, fmt.Sprintf("mix(%.3g·%s + %.3g·%s)", w, a.Name(), 1-w, b.Name()))
+}
+
+// EstimateCollisionProbability returns the unbiased collision-probability
+// estimator χ̂ = (# colliding pairs)/C(s,2) from a sample multiset. Its
+// expectation is exactly χ(µ) = Σ µ(i)².
+func EstimateCollisionProbability(samples []int) float64 {
+	s := len(samples)
+	if s < 2 {
+		return 0
+	}
+	pairs := float64(s) * float64(s-1) / 2
+	return float64(CountCollisions(samples)) / pairs
+}
+
+// EstimateL1FromUniform returns the plug-in estimate of the L1 distance
+// between the sampled distribution and U(n): Σ_i |N_i/s − 1/n|. It is
+// biased upward for s ≪ n (pure sampling noise inflates it); see the
+// EmpiricalTV tester for the quantitative behaviour.
+func EstimateL1FromUniform(n int, samples []int) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := float64(len(samples))
+	u := 1 / float64(n)
+	counts := make(map[int]int, len(samples))
+	for _, v := range samples {
+		counts[v]++
+	}
+	total := 0.0
+	for _, c := range counts {
+		total += math.Abs(float64(c)/s - u)
+	}
+	total += float64(n-len(counts)) * u
+	return total
+}
+
+// EstimateDistanceLowerBound converts the collision estimator into a
+// conservative distance estimate via Lemma 3.2's converse: χ(µ) ≥
+// (1+ε²)/n implies ε ≤ √(n·χ − 1), so ε̂ = √(max(0, n·χ̂ − 1)) lower-bounds
+// the distance scale the collision statistic can certify.
+func EstimateDistanceLowerBound(n int, samples []int) float64 {
+	chi := EstimateCollisionProbability(samples)
+	v := float64(n)*chi - 1
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// Entropy returns the Shannon entropy of d in bits.
+func Entropy(d Distribution) float64 {
+	total := 0.0
+	for i := 0; i < d.N(); i++ {
+		p := d.Prob(i)
+		if p > 0 {
+			total -= p * math.Log2(p)
+		}
+	}
+	return total
+}
+
+// Support returns the number of elements with positive probability.
+func Support(d Distribution) int {
+	count := 0
+	for i := 0; i < d.N(); i++ {
+		if d.Prob(i) > 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// SampleInto fills buf with i.i.d. samples from d, avoiding the allocation
+// of SampleN in hot loops.
+func SampleInto(d Distribution, buf []int, r *rng.RNG) {
+	for i := range buf {
+		buf[i] = d.Sample(r)
+	}
+}

@@ -1,0 +1,178 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/unifdist/unifdist/internal/rng"
+)
+
+func TestDiscretizedGaussian(t *testing.T) {
+	g := NewDiscretizedGaussian(100, 50, 10)
+	total := 0.0
+	for i := 0; i < g.N(); i++ {
+		total += g.Prob(i)
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("mass %v", total)
+	}
+	// Peak at the mean, symmetric-ish, decaying tails.
+	if g.Prob(50) <= g.Prob(40) || g.Prob(50) <= g.Prob(60) {
+		t.Error("not peaked at the mean")
+	}
+	if g.Prob(0) >= g.Prob(30) {
+		t.Error("tails not decaying")
+	}
+	assertPanics(t, func() { NewDiscretizedGaussian(0, 0, 1) }, "n=0")
+	assertPanics(t, func() { NewDiscretizedGaussian(10, 0, 0) }, "sigma=0")
+}
+
+func TestMixture(t *testing.T) {
+	u := NewUniform(10)
+	p := NewPointMassMixture(10, 0, 1)
+	m, err := NewMixture(u, p, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Element 0: 0.5·0.1 + 0.5·1.0 = 0.55; others 0.05.
+	if math.Abs(m.Prob(0)-0.55) > 1e-12 {
+		t.Errorf("Prob(0) = %v", m.Prob(0))
+	}
+	if math.Abs(m.Prob(5)-0.05) > 1e-12 {
+		t.Errorf("Prob(5) = %v", m.Prob(5))
+	}
+	if _, err := NewMixture(NewUniform(3), NewUniform(4), 0.5); err == nil {
+		t.Error("mismatched domains accepted")
+	}
+	if _, err := NewMixture(u, p, 1.5); err == nil {
+		t.Error("w>1 accepted")
+	}
+}
+
+func TestMixtureExtremes(t *testing.T) {
+	u := NewUniform(6)
+	z := NewZipf(6, 2)
+	m1, err := NewMixture(u, z, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if L1(m1, u) > 1e-12 {
+		t.Error("w=1 mixture should equal the first component")
+	}
+	m0, err := NewMixture(u, z, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if L1(m0, z) > 1e-12 {
+		t.Error("w=0 mixture should equal the second component")
+	}
+}
+
+func TestEstimateCollisionProbabilityUnbiased(t *testing.T) {
+	// Average of the estimator over many sample sets ≈ true χ.
+	n := 64
+	d := NewTwoBump(n, 0.8, 3)
+	want := CollisionProbability(d)
+	r := rng.New(5)
+	const trials, s = 3000, 30
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += EstimateCollisionProbability(SampleN(d, s, r))
+	}
+	got := sum / trials
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("mean estimate %v, true χ %v", got, want)
+	}
+}
+
+func TestEstimateCollisionProbabilityEdges(t *testing.T) {
+	if EstimateCollisionProbability(nil) != 0 {
+		t.Error("empty sample should estimate 0")
+	}
+	if EstimateCollisionProbability([]int{1}) != 0 {
+		t.Error("single sample should estimate 0")
+	}
+	if got := EstimateCollisionProbability([]int{2, 2}); got != 1 {
+		t.Errorf("identical pair estimates %v, want 1", got)
+	}
+}
+
+func TestEstimateL1FromUniform(t *testing.T) {
+	// Exact for a deterministic histogram: n=4, samples hit elements 0,0,1,1.
+	got := EstimateL1FromUniform(4, []int{0, 0, 1, 1})
+	// Empirical = (1/2, 1/2, 0, 0); L1 = 2·|1/2−1/4| + 2·|0−1/4| = 1.
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("plug-in L1 = %v, want 1", got)
+	}
+	if EstimateL1FromUniform(10, nil) != 0 {
+		t.Error("empty sample should estimate 0")
+	}
+}
+
+func TestEstimateDistanceLowerBoundBehaviour(t *testing.T) {
+	r := rng.New(7)
+	n := 1 << 10
+	// On uniform with few samples, the certified distance is ~0 usually.
+	u := NewUniform(n)
+	zeroish := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		if EstimateDistanceLowerBound(n, SampleN(u, 16, r)) == 0 {
+			zeroish++
+		}
+	}
+	if zeroish < trials/2 {
+		t.Errorf("uniform certified nonzero distance in %d/%d trials", trials-zeroish, trials)
+	}
+	// On a point-mass-heavy distribution with many samples, it certifies a
+	// large distance.
+	p := NewPointMassMixture(n, 0, 0.8)
+	est := EstimateDistanceLowerBound(n, SampleN(p, 500, r))
+	if est < 1 {
+		t.Errorf("heavy point mass certified only %v", est)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy(NewUniform(8)); math.Abs(got-3) > 1e-12 {
+		t.Errorf("H(U₈) = %v, want 3", got)
+	}
+	point := MustHistogram([]float64{1, 0, 0}, "")
+	if got := Entropy(point); math.Abs(got) > 1e-12 {
+		t.Errorf("H(point) = %v, want 0", got)
+	}
+	// Uniform maximizes entropy.
+	z := NewZipf(8, 1.5)
+	if Entropy(z) >= 3 {
+		t.Error("Zipf entropy should be below uniform's")
+	}
+}
+
+func TestSupport(t *testing.T) {
+	if got := Support(NewUniform(7)); got != 7 {
+		t.Errorf("support %d, want 7", got)
+	}
+	if got := Support(NewHalfSupport(10)); got != 5 {
+		t.Errorf("half support %d, want 5", got)
+	}
+}
+
+func TestSampleIntoMatchesSampleN(t *testing.T) {
+	f := func(seed uint64, sRaw uint8) bool {
+		s := int(sRaw%20) + 1
+		d := NewUniform(50)
+		a := SampleN(d, s, rng.New(seed))
+		b := make([]int, s)
+		SampleInto(d, b, rng.New(seed))
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/unifdist/unifdist/internal/rng"
+)
+
+// FuzzNewHistogram ensures arbitrary mass vectors either error out or
+// produce a normalized distribution whose sampler stays in range.
+func FuzzNewHistogram(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 64 {
+			return
+		}
+		p := make([]float64, len(raw))
+		for i, v := range raw {
+			p[i] = float64(v)
+		}
+		h, err := NewHistogram(p, "fuzz")
+		if err != nil {
+			return
+		}
+		total := 0.0
+		for i := 0; i < h.N(); i++ {
+			pr := h.Prob(i)
+			if pr < 0 || pr > 1 {
+				t.Fatalf("Prob(%d) = %v", i, pr)
+			}
+			total += pr
+		}
+		if total < 0.999 || total > 1.001 {
+			t.Fatalf("mass %v", total)
+		}
+		r := rng.New(1)
+		for i := 0; i < 50; i++ {
+			if v := h.Sample(r); v < 0 || v >= h.N() {
+				t.Fatalf("sample %d out of range", v)
+			}
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package ecc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// fieldOnce lazily builds the shared GF(2¹²) tables (Uber guide: no init
+// magic; construction is deterministic).
+var (
+	fieldOnce sync.Once
+	fieldInst *gf
+)
+
+func field() *gf {
+	fieldOnce.Do(func() { fieldInst = newGF() })
+	return fieldInst
+}
+
+// Code is the concatenated RS∘Golay binary code: message bits are packed
+// into 12-bit field symbols, Reed–Solomon encoded at rate 1/2, and each of
+// the resulting symbols is expanded to 24 bits by the extended Golay code.
+// The composition has rate 1/4 and minimum distance ≥ (N/2+1)·8, which is
+// ≥ 1/6 of the code length — the property Lemma 7.3 needs.
+type Code struct {
+	rs       *rs
+	msgBits  int
+	kSymbols int
+	nSymbols int
+}
+
+// NewCode builds a concatenated code for messages of msgBits bits.
+// msgBits must be in [1, 12·2047] so the outer RS code fits in GF(2¹²).
+func NewCode(msgBits int) (*Code, error) {
+	if msgBits < 1 {
+		return nil, fmt.Errorf("ecc: message length %d < 1", msgBits)
+	}
+	k := (msgBits + gfBits - 1) / gfBits
+	n := 2 * k
+	r, err := newRS(field(), k, n)
+	if err != nil {
+		return nil, fmt.Errorf("ecc: message length %d too large: %w", msgBits, err)
+	}
+	return &Code{rs: r, msgBits: msgBits, kSymbols: k, nSymbols: n}, nil
+}
+
+// MessageBits returns the code's message length in bits.
+func (c *Code) MessageBits() int { return c.msgBits }
+
+// CodeBits returns the codeword length in bits (24 per outer symbol).
+func (c *Code) CodeBits() int { return 24 * c.nSymbols }
+
+// MinDistance returns the guaranteed minimum Hamming distance between
+// codewords of distinct messages: (outer distance) × (inner distance).
+func (c *Code) MinDistance() int {
+	return c.rs.minDistance() * golayMinDistance
+}
+
+// Encode maps a message bitset (LSB-first within each byte; at least
+// ⌈MessageBits/8⌉ bytes) to its codeword bitset of CodeBits() bits.
+func (c *Code) Encode(msg []byte) ([]byte, error) {
+	if got, want := len(msg), (c.msgBits+7)/8; got < want {
+		return nil, fmt.Errorf("ecc: message has %d bytes, want at least %d", got, want)
+	}
+	// Pack bits into 12-bit symbols (zero padded).
+	symbols := make([]uint16, c.kSymbols)
+	for i := 0; i < c.msgBits; i++ {
+		if msg[i/8]&(1<<(i%8)) != 0 {
+			symbols[i/gfBits] |= 1 << (i % gfBits)
+		}
+	}
+	outer, err := c.rs.encode(symbols)
+	if err != nil {
+		return nil, err
+	}
+	// Inner Golay expansion.
+	out := make([]byte, (c.CodeBits()+7)/8)
+	for i, sym := range outer {
+		cw := golayEncode(sym)
+		base := 24 * i
+		for b := 0; b < 24; b++ {
+			if cw&(1<<b) != 0 {
+				pos := base + b
+				out[pos/8] |= 1 << (pos % 8)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Bit reports bit i of a bitset produced by Encode.
+func Bit(bits []byte, i int) bool {
+	return bits[i/8]&(1<<(i%8)) != 0
+}
+
+// SetBit sets bit i of a bitset.
+func SetBit(bits []byte, i int) {
+	bits[i/8] |= 1 << (i % 8)
+}
+
+// HammingDistance counts differing bits among the first n bits of two
+// bitsets.
+func HammingDistance(a, b []byte, n int) int {
+	d := 0
+	for i := 0; i < n; i++ {
+		if Bit(a, i) != Bit(b, i) {
+			d++
+		}
+	}
+	return d
+}

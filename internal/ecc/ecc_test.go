@@ -1,0 +1,330 @@
+package ecc
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"github.com/unifdist/unifdist/internal/rng"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	f := field()
+	r := rng.New(1)
+	for i := 0; i < 2000; i++ {
+		a := uint16(r.Intn(gfOrder))
+		b := uint16(r.Intn(gfOrder))
+		c := uint16(r.Intn(gfOrder))
+		// Commutativity.
+		if f.mul(a, b) != f.mul(b, a) {
+			t.Fatalf("mul not commutative: %d, %d", a, b)
+		}
+		// Associativity.
+		if f.mul(f.mul(a, b), c) != f.mul(a, f.mul(b, c)) {
+			t.Fatalf("mul not associative: %d, %d, %d", a, b, c)
+		}
+		// Distributivity.
+		if f.mul(a, f.add(b, c)) != f.add(f.mul(a, b), f.mul(a, c)) {
+			t.Fatalf("not distributive: %d, %d, %d", a, b, c)
+		}
+		// Identity and zero.
+		if f.mul(a, 1) != a || f.mul(a, 0) != 0 {
+			t.Fatalf("identity/zero failed for %d", a)
+		}
+		// Inverses.
+		if a != 0 && f.mul(a, f.inv(a)) != 1 {
+			t.Fatalf("inverse failed for %d", a)
+		}
+	}
+}
+
+func TestGFExpLogConsistency(t *testing.T) {
+	f := field()
+	seen := make(map[uint16]bool, gfOrder-1)
+	for i := 0; i < gfOrder-1; i++ {
+		v := f.exp[i]
+		if v == 0 {
+			t.Fatalf("exp[%d] = 0", i)
+		}
+		if seen[v] {
+			t.Fatalf("exp[%d] = %d repeats: polynomial not primitive", i, v)
+		}
+		seen[v] = true
+		if f.log[v] != uint16(i) {
+			t.Fatalf("log(exp(%d)) = %d", i, f.log[v])
+		}
+	}
+}
+
+func TestGFPow(t *testing.T) {
+	f := field()
+	if f.pow(0, 0) != 1 {
+		t.Error("0^0 should be 1 by convention")
+	}
+	if f.pow(0, 3) != 0 {
+		t.Error("0^3 should be 0")
+	}
+	a := uint16(0x123)
+	want := uint16(1)
+	for e := 0; e < 20; e++ {
+		if got := f.pow(a, e); got != want {
+			t.Fatalf("pow(%d, %d) = %d, want %d", a, e, got, want)
+		}
+		want = f.mul(want, a)
+	}
+}
+
+func TestGolayMinimumDistanceExhaustive(t *testing.T) {
+	// The [24,12] extended Golay code has minimum distance exactly 8; by
+	// linearity it suffices to check the minimum weight over all 4095
+	// nonzero codewords.
+	min := 24
+	for m := uint16(1); m < 1<<12; m++ {
+		if w := bits.OnesCount32(golayEncode(m)); w < min {
+			min = w
+		}
+	}
+	if min != golayMinDistance {
+		t.Fatalf("Golay minimum weight = %d, want %d", min, golayMinDistance)
+	}
+}
+
+func TestGolayLinearity(t *testing.T) {
+	f := func(a, b uint16) bool {
+		a, b = a&0xfff, b&0xfff
+		return golayEncode(a)^golayEncode(b) == golayEncode(a^b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGolaySystematic(t *testing.T) {
+	for _, m := range []uint16{0, 1, 0xfff, 0x5a5} {
+		if got := golayEncode(m) & 0xfff; got != uint32(m) {
+			t.Fatalf("systematic part of %#x is %#x", m, got)
+		}
+	}
+}
+
+func TestRSDistance(t *testing.T) {
+	f := field()
+	r, err := newRS(f, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.minDistance() != 5 {
+		t.Fatalf("minDistance = %d, want 5", r.minDistance())
+	}
+	rr := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		a := make([]uint16, 4)
+		b := make([]uint16, 4)
+		for i := range a {
+			a[i] = uint16(rr.Intn(gfOrder))
+			b[i] = uint16(rr.Intn(gfOrder))
+		}
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+			}
+		}
+		if same {
+			continue
+		}
+		ca, err := r.encode(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := r.encode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := 0
+		for i := range ca {
+			if ca[i] != cb[i] {
+				d++
+			}
+		}
+		if d < 5 {
+			t.Fatalf("RS distance %d < 5 for %v vs %v", d, a, b)
+		}
+	}
+}
+
+func TestRSValidation(t *testing.T) {
+	f := field()
+	if _, err := newRS(f, 0, 4); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := newRS(f, 5, 4); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := newRS(f, 1, gfOrder); err == nil {
+		t.Error("n=4096 accepted")
+	}
+	r, err := newRS(f, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.encode([]uint16{1}); err == nil {
+		t.Error("short message accepted")
+	}
+}
+
+func TestCodeParameters(t *testing.T) {
+	c, err := NewCode(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 bits → 9 symbols → RS [18, 9] → 18·24 = 432 bits, distance
+	// (18−9+1)·8 = 80.
+	if c.CodeBits() != 432 {
+		t.Errorf("CodeBits = %d, want 432", c.CodeBits())
+	}
+	if c.MinDistance() != 80 {
+		t.Errorf("MinDistance = %d, want 80", c.MinDistance())
+	}
+	if c.MessageBits() != 100 {
+		t.Errorf("MessageBits = %d", c.MessageBits())
+	}
+	// Relative distance ≥ 1/6 (Lemma 7.3's requirement).
+	if rel := float64(c.MinDistance()) / float64(c.CodeBits()); rel < 1.0/6 {
+		t.Errorf("relative distance %v < 1/6", rel)
+	}
+}
+
+func TestCodeRelativeDistanceAlwaysAboveSixth(t *testing.T) {
+	for _, bits := range []int{1, 12, 13, 64, 100, 1000, 12 * 2047} {
+		c, err := NewCode(bits)
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		if rel := float64(c.MinDistance()) / float64(c.CodeBits()); rel < 1.0/6 {
+			t.Errorf("bits=%d: relative distance %v < 1/6", bits, rel)
+		}
+	}
+}
+
+func TestCodeValidation(t *testing.T) {
+	if _, err := NewCode(0); err == nil {
+		t.Error("0-bit message accepted")
+	}
+	if _, err := NewCode(12*2047 + 13); err == nil {
+		t.Error("oversized message accepted")
+	}
+	c, err := NewCode(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Encode(make([]byte, 7)); err == nil {
+		t.Error("short message buffer accepted")
+	}
+}
+
+func TestEncodeDistanceOnRandomPairs(t *testing.T) {
+	c, err := NewCode(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for trial := 0; trial < 100; trial++ {
+		a := make([]byte, 12)
+		b := make([]byte, 12)
+		for i := range a {
+			a[i] = byte(r.Intn(256))
+			b[i] = byte(r.Intn(256))
+		}
+		if string(a) == string(b) {
+			continue
+		}
+		ca, err := c.Encode(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := c.Encode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := HammingDistance(ca, cb, c.CodeBits()); d < c.MinDistance() {
+			t.Fatalf("distance %d < guaranteed %d", d, c.MinDistance())
+		}
+	}
+}
+
+func TestEncodeDistanceAdversarialSingleBitFlips(t *testing.T) {
+	// Messages differing in exactly one bit are the closest pairs a random
+	// test might miss.
+	c, err := NewCode(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}
+	cBase, err := c.Encode(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 48; i++ {
+		flipped := append([]byte(nil), base...)
+		flipped[i/8] ^= 1 << (i % 8)
+		cf, err := c.Encode(flipped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := HammingDistance(cBase, cf, c.CodeBits()); d < c.MinDistance() {
+			t.Fatalf("bit %d flip: distance %d < %d", i, d, c.MinDistance())
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	c, err := NewCode(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	a, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("Encode not deterministic")
+	}
+}
+
+func TestBitHelpers(t *testing.T) {
+	bits := make([]byte, 2)
+	SetBit(bits, 3)
+	SetBit(bits, 9)
+	if !Bit(bits, 3) || !Bit(bits, 9) {
+		t.Fatal("set bits not readable")
+	}
+	if Bit(bits, 0) || Bit(bits, 8) {
+		t.Fatal("unset bits read as set")
+	}
+	if d := HammingDistance([]byte{0xff}, []byte{0x0f}, 8); d != 4 {
+		t.Fatalf("HammingDistance = %d, want 4", d)
+	}
+}
+
+func BenchmarkEncode1KBit(b *testing.B) {
+	c, err := NewCode(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 128)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package ecc provides the error-correcting code used by the SMP Equality
+// protocol of Lemma 7.3. The paper uses a Justesen code with rate 1/3 and
+// relative distance ≥ 1/6; we substitute a concatenated code — an outer
+// Reed–Solomon code over GF(2¹²) at rate 1/2 composed with the inner
+// extended binary Golay [24,12,8] code — with rate 1/4 and guaranteed
+// relative distance ≥ 1/6. The protocol only needs *some* constant-rate
+// binary code with relative distance 1/6 (see DESIGN.md §3.4); the rate
+// constant is absorbed into the message-length bound.
+package ecc
+
+import "fmt"
+
+// gfBits is the field degree: GF(2^12) with 4096 elements, chosen so field
+// symbols align exactly with Golay 12-bit messages.
+const (
+	gfBits  = 12
+	gfOrder = 1 << gfBits // 4096
+	// gfPoly is the primitive polynomial x¹² + x⁶ + x⁴ + x + 1.
+	gfPoly = 0x1053
+)
+
+// gf implements arithmetic in GF(2¹²) via exp/log tables.
+type gf struct {
+	exp [2 * (gfOrder - 1)]uint16
+	log [gfOrder]uint16
+}
+
+// newGF builds the field tables from the primitive polynomial.
+func newGF() *gf {
+	f := &gf{}
+	x := uint32(1)
+	for i := 0; i < gfOrder-1; i++ {
+		f.exp[i] = uint16(x)
+		f.log[x] = uint16(i)
+		x <<= 1
+		if x&gfOrder != 0 {
+			x ^= gfPoly
+		}
+	}
+	// Duplicate the exp table so products of logs never need a modulo.
+	for i := gfOrder - 1; i < len(f.exp); i++ {
+		f.exp[i] = f.exp[i-(gfOrder-1)]
+	}
+	return f
+}
+
+// add returns a+b (XOR in characteristic 2).
+func (f *gf) add(a, b uint16) uint16 { return a ^ b }
+
+// mul returns a·b.
+func (f *gf) mul(a, b uint16) uint16 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[int(f.log[a])+int(f.log[b])]
+}
+
+// inv returns a⁻¹. It panics on zero.
+func (f *gf) inv(a uint16) uint16 {
+	if a == 0 {
+		panic("ecc: inverse of zero")
+	}
+	return f.exp[(gfOrder-1)-int(f.log[a])]
+}
+
+// pow returns a^e for e ≥ 0.
+func (f *gf) pow(a uint16, e int) uint16 {
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	le := (int(f.log[a]) * e) % (gfOrder - 1)
+	return f.exp[le]
+}
+
+// rs is an evaluation-style Reed–Solomon encoder over GF(2¹²): a message of
+// k symbols is interpreted as a degree-(k−1) polynomial and evaluated at
+// the points α⁰, …, α^{N−1}. Distinct messages agree on at most k−1
+// points, so the minimum distance is N−k+1.
+type rs struct {
+	field *gf
+	k, n  int
+	// points[i] is the i-th evaluation point.
+	points []uint16
+}
+
+// newRS builds an [n, k] Reed–Solomon code. It requires 1 ≤ k ≤ n ≤ 4095.
+func newRS(field *gf, k, n int) (*rs, error) {
+	if k < 1 || n < k || n > gfOrder-1 {
+		return nil, fmt.Errorf("ecc: invalid RS parameters k=%d n=%d", k, n)
+	}
+	points := make([]uint16, n)
+	for i := range points {
+		points[i] = field.exp[i] // α^i, distinct for i < 4095
+	}
+	return &rs{field: field, k: k, n: n, points: points}, nil
+}
+
+// encode evaluates the message polynomial at every point (Horner's rule).
+func (r *rs) encode(msg []uint16) ([]uint16, error) {
+	if len(msg) != r.k {
+		return nil, fmt.Errorf("ecc: RS message has %d symbols, want %d", len(msg), r.k)
+	}
+	out := make([]uint16, r.n)
+	for i, x := range r.points {
+		acc := uint16(0)
+		for j := r.k - 1; j >= 0; j-- {
+			acc = r.field.add(r.field.mul(acc, x), msg[j])
+		}
+		out[i] = acc
+	}
+	return out, nil
+}
+
+// minDistance returns the RS minimum distance N−k+1.
+func (r *rs) minDistance() int { return r.n - r.k + 1 }

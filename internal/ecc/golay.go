@@ -1,0 +1,38 @@
+package ecc
+
+// golayB is the 12×12 component of the extended binary Golay code's
+// systematic generator matrix G = [I₁₂ | B] (the standard bordered
+// circulant construction). Row i is stored as a 12-bit mask, bit j = column
+// j. The resulting [24,12] code has minimum distance 8, verified
+// exhaustively in the tests.
+var golayB = [12]uint16{
+	0b011111111111,
+	0b111011100010,
+	0b110111000101,
+	0b101110001011,
+	0b111100010110,
+	0b111000101101,
+	0b110001011011,
+	0b100010110111,
+	0b100101101110,
+	0b101011011100,
+	0b110110111000,
+	0b101101110001,
+}
+
+// golayEncode maps a 12-bit message to its 24-bit extended Golay codeword:
+// the low 12 bits are the message (systematic part), the high 12 bits the
+// parity part m·B.
+func golayEncode(msg uint16) uint32 {
+	msg &= 0xfff
+	parity := uint16(0)
+	for i := 0; i < 12; i++ {
+		if msg&(1<<i) != 0 {
+			parity ^= golayB[i]
+		}
+	}
+	return uint32(msg) | uint32(parity)<<12
+}
+
+// golayMinDistance is the extended Golay code's minimum distance.
+const golayMinDistance = 8

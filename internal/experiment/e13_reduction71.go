@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"github.com/unifdist/unifdist/internal/rng"
+	"github.com/unifdist/unifdist/internal/smp"
+	"github.com/unifdist/unifdist/internal/tester"
+)
+
+func init() {
+	register(Experiment{
+		ID:          "E13",
+		Description: "Theorem 7.1 forward: an SMP Equality protocol built from the uniformity tester",
+		Run:         runE13,
+	})
+}
+
+// runE13 runs the Blais–Canonne–Gur reduction with the paper's
+// single-collision gap tester as the black box: equal inputs produce an
+// exactly uniform referee stream (accepted w.p. ≥ 1−δ), unequal inputs a
+// 1/6-far stream (rejected noticeably more often) — the mechanism behind
+// the paper's lower-bound chain Thm 7.2 → Cor 7.4 → Thm 1.3.
+func runE13(mode Mode, seed uint64) (*Table, error) {
+	trials := 20000
+	if mode == Full {
+		trials = 100000
+	}
+	t := &Table{
+		ID:    "E13",
+		Title: "Equality from a uniformity tester (single-collision A_δ, ε=1/6)",
+		Columns: []string{
+			"n bits", "δ", "domain 2m", "q samples", "msg bits",
+			"acc|eq", "acc|neq", "gap meas", "α guar",
+		},
+	}
+	r := rng.New(seed)
+	cases := []struct {
+		nBits int
+		delta float64
+	}{
+		{nBits: 96, delta: 0.1},
+		{nBits: 96, delta: 0.2},
+		{nBits: 512, delta: 0.1},
+		{nBits: 2048, delta: 0.05},
+	}
+	for _, c := range cases {
+		delta := c.delta
+		build := func(domain int) (tester.Tester, error) {
+			return tester.NewSingleCollision(domain, delta, 1.0/6)
+		}
+		e, err := smp.NewEqualityFromTester(c.nBits, build)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := build(e.Domain())
+		if err != nil {
+			return nil, err
+		}
+		bits, err := e.MessageBits()
+		if err != nil {
+			return nil, err
+		}
+		x := make([]byte, (c.nBits+7)/8)
+		for i := range x {
+			x[i] = byte(r.Intn(256))
+		}
+		y := append([]byte(nil), x...)
+		y[0] ^= 0xff
+		accEq, err := e.EstimateAcceptProb(x, x, trials, r)
+		if err != nil {
+			return nil, err
+		}
+		accNeq, err := e.EstimateAcceptProb(x, y, trials, r)
+		if err != nil {
+			return nil, err
+		}
+		measGap := 0.0
+		if rej := 1 - accEq; rej > 0 {
+			measGap = (1 - accNeq) / rej
+		}
+		sc, ok := inner.(*tester.SingleCollision)
+		guar := 0.0
+		if ok {
+			guar = sc.Params().Alpha
+		}
+		t.AddRow(
+			fmtFloat(float64(c.nBits)), fmtFloat(c.delta),
+			fmtFloat(float64(e.Domain())), fmtFloat(float64(inner.SampleSize())),
+			fmtFloat(float64(bits)),
+			fmtProb(accEq), fmtProb(accNeq),
+			fmtFloat(measGap), fmtFloat(guar),
+		)
+	}
+	t.AddNote("paper (Thm 7.1): a q-sample tester with error (δ₀,δ₁) gives SMP_{δ₀,δ₁}(EQ) ≤ q·log n")
+	t.AddNote("equal inputs yield an exactly uniform stream; unequal a ≥1/6-far one")
+	t.AddNote("α guar < 1 means the rigorous eq. (1) slack is vacuous at this size; the measured gap is the separation that survives the reduction")
+	t.AddNote("%d trials per cell", trials)
+	return t, nil
+}

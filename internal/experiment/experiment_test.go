@@ -1,0 +1,152 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if got := len(All()); got != len(want) {
+		t.Errorf("registry has %d experiments, want %d", got, len(want))
+	}
+}
+
+func TestAllSortedNumerically(t *testing.T) {
+	all := All()
+	if all[0].ID != "E1" {
+		t.Errorf("first experiment %s, want E1", all[0].ID)
+	}
+	if all[len(all)-1].ID != "E15" {
+		t.Errorf("last experiment %s, want E15", all[len(all)-1].ID)
+	}
+	// E9 must come before E10 despite lexicographic order.
+	idx := map[string]int{}
+	for i, e := range all {
+		idx[e.ID] = i
+	}
+	if idx["E9"] > idx["E10"] {
+		t.Error("E9 sorted after E10")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID:      "T",
+		Title:   "test table",
+		Columns: []string{"a", "long column"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.AddNote("a note with %d", 42)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== T: test table ==", "long column", "333", "note: a note with 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tbl := &Table{
+		ID:      "T",
+		Columns: []string{"a", "b,with comma"},
+	}
+	tbl.AddRow("x\"y", "plain")
+	var buf bytes.Buffer
+	if err := tbl.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"b,with comma"`) {
+		t.Errorf("comma not escaped: %s", out)
+	}
+	if !strings.Contains(out, `"x""y"`) {
+		t.Errorf("quote not escaped: %s", out)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("unknown mode string wrong")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	register(Experiment{ID: "E1"})
+}
+
+// TestCheapExperimentsRun exercises the fast experiments end to end; the
+// expensive ones run via cmd/unifbench and the root benchmarks.
+func TestCheapExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, id := range []string{"E1", "E6", "E9", "E11"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		tbl, err := e.Run(Quick, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+		var buf bytes.Buffer
+		if err := tbl.Render(&buf); err != nil {
+			t.Fatalf("%s render: %v", id, err)
+		}
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if fmtFloat(3.14159) != "3.142" {
+		t.Errorf("fmtFloat = %s", fmtFloat(3.14159))
+	}
+	if fmtProb(0.5) != "0.500" {
+		t.Errorf("fmtProb = %s", fmtProb(0.5))
+	}
+	if fmtBool(true) != "yes" || fmtBool(false) != "no" {
+		t.Error("fmtBool wrong")
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tbl := &Table{
+		ID:      "T",
+		Title:   "md",
+		Columns: []string{"a", "b"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddNote("hello")
+	var buf bytes.Buffer
+	if err := tbl.RenderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### T: md", "| a | b |", "| --- | --- |", "| 1 | 2 |", "- hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package graph provides the network topologies the CONGEST and LOCAL
+// simulations run on: lines, rings, stars, grids, complete graphs, balanced
+// trees and random connected graphs, together with BFS, diameter and the
+// power graph G^r needed by the LOCAL tester's MIS construction.
+//
+// Graphs are simple (no self-loops or parallel edges) and undirected.
+// Vertices are 0-indexed.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/unifdist/unifdist/internal/rng"
+)
+
+// Graph is a simple undirected graph.
+type Graph struct {
+	name string
+	adj  [][]int
+}
+
+// New returns an empty graph with n vertices and no edges.
+func New(n int, name string) *Graph {
+	if n <= 0 {
+		panic("graph: New requires n > 0")
+	}
+	return &Graph{name: name, adj: make([][]int, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// Name returns the topology's label.
+func (g *Graph) Name() string { return g.name }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate
+// edges are rejected with an error.
+func (g *Graph) AddEdge(u, v int) error {
+	n := len(g.adj)
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	return nil
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns v's neighbor list. The returned slice must not be
+// modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, nb := range g.adj {
+		total += len(nb)
+	}
+	return total / 2
+}
+
+// sortAdj normalizes neighbor lists to sorted order (deterministic
+// iteration for reproducible simulations).
+func (g *Graph) sortAdj() {
+	for _, nb := range g.adj {
+		sort.Ints(nb)
+	}
+}
+
+// BFS runs breadth-first search from root and returns per-vertex distance
+// and parent arrays. Unreachable vertices have distance −1 and parent −1;
+// the root's parent is −1.
+func (g *Graph) BFS(root int) (distance, parent []int) {
+	n := len(g.adj)
+	if root < 0 || root >= n {
+		panic(fmt.Sprintf("graph: BFS root %d out of range", root))
+	}
+	distance = make([]int, n)
+	parent = make([]int, n)
+	for i := range distance {
+		distance[i] = -1
+		parent[i] = -1
+	}
+	distance[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if distance[w] == -1 {
+				distance[w] = distance[v] + 1
+				parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	return distance, parent
+}
+
+// IsConnected reports whether the graph is connected.
+func (g *Graph) IsConnected() bool {
+	distance, _ := g.BFS(0)
+	for _, d := range distance {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the maximum BFS distance from v. It panics if the
+// graph is disconnected.
+func (g *Graph) Eccentricity(v int) int {
+	distance, _ := g.BFS(v)
+	max := 0
+	for _, d := range distance {
+		if d == -1 {
+			panic("graph: eccentricity of a disconnected graph")
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Diameter returns the exact diameter via all-pairs BFS. It panics if the
+// graph is disconnected.
+func (g *Graph) Diameter() int {
+	max := 0
+	for v := range g.adj {
+		if e := g.Eccentricity(v); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Power returns G^r: vertices are the same and {u, v} is an edge iff their
+// distance in g is between 1 and r. It panics if r < 1.
+func (g *Graph) Power(r int) *Graph {
+	if r < 1 {
+		panic("graph: Power requires r >= 1")
+	}
+	n := len(g.adj)
+	p := New(n, fmt.Sprintf("%s^%d", g.name, r))
+	for v := 0; v < n; v++ {
+		// Bounded BFS to depth r.
+		distance := make([]int, n)
+		for i := range distance {
+			distance[i] = -1
+		}
+		distance[v] = 0
+		queue := []int{v}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			if distance[x] == r {
+				continue
+			}
+			for _, w := range g.adj[x] {
+				if distance[w] == -1 {
+					distance[w] = distance[x] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		for w := v + 1; w < n; w++ {
+			if distance[w] >= 1 && distance[w] <= r {
+				p.adj[v] = append(p.adj[v], w)
+				p.adj[w] = append(p.adj[w], v)
+			}
+		}
+	}
+	p.sortAdj()
+	return p
+}
+
+// NewLine returns the path graph on k vertices (diameter k−1).
+func NewLine(k int) *Graph {
+	g := New(k, fmt.Sprintf("line(%d)", k))
+	for i := 0; i+1 < k; i++ {
+		mustEdge(g, i, i+1)
+	}
+	return g
+}
+
+// NewRing returns the cycle on k vertices (diameter ⌊k/2⌋). It panics for
+// k < 3.
+func NewRing(k int) *Graph {
+	if k < 3 {
+		panic("graph: NewRing requires k >= 3")
+	}
+	g := New(k, fmt.Sprintf("ring(%d)", k))
+	for i := 0; i < k; i++ {
+		mustEdge(g, i, (i+1)%k)
+	}
+	return g
+}
+
+// NewStar returns the star with center 0 and k−1 leaves (diameter 2 for
+// k ≥ 3).
+func NewStar(k int) *Graph {
+	g := New(k, fmt.Sprintf("star(%d)", k))
+	for i := 1; i < k; i++ {
+		mustEdge(g, 0, i)
+	}
+	return g
+}
+
+// NewComplete returns K_k.
+func NewComplete(k int) *Graph {
+	g := New(k, fmt.Sprintf("complete(%d)", k))
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			mustEdge(g, i, j)
+		}
+	}
+	return g
+}
+
+// NewGrid returns the rows×cols grid graph (diameter rows+cols−2).
+func NewGrid(rows, cols int) *Graph {
+	if rows <= 0 || cols <= 0 {
+		panic("graph: NewGrid requires positive dimensions")
+	}
+	g := New(rows*cols, fmt.Sprintf("grid(%dx%d)", rows, cols))
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				mustEdge(g, id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				mustEdge(g, id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// NewBalancedTree returns the complete arity-ary tree with k vertices,
+// numbered in BFS order (vertex i's parent is (i−1)/arity).
+func NewBalancedTree(k, arity int) *Graph {
+	if arity < 1 {
+		panic("graph: NewBalancedTree requires arity >= 1")
+	}
+	g := New(k, fmt.Sprintf("tree(%d,arity=%d)", k, arity))
+	for i := 1; i < k; i++ {
+		mustEdge(g, (i-1)/arity, i)
+	}
+	return g
+}
+
+// NewRandomConnected returns a connected random graph: a uniform random
+// attachment tree (guaranteeing connectivity) plus each non-tree edge
+// independently with probability p. Deterministic in seed.
+func NewRandomConnected(k int, p float64, seed uint64) *Graph {
+	if k <= 0 {
+		panic("graph: NewRandomConnected requires k > 0")
+	}
+	if p < 0 || p > 1 {
+		panic("graph: edge probability outside [0, 1]")
+	}
+	r := rng.New(seed)
+	g := New(k, fmt.Sprintf("random(%d,p=%.3g)", k, p))
+	for i := 1; i < k; i++ {
+		mustEdge(g, r.Intn(i), i)
+	}
+	if p > 0 {
+		for u := 0; u < k; u++ {
+			for v := u + 1; v < k; v++ {
+				if !g.HasEdge(u, v) && r.Float64() < p {
+					mustEdge(g, u, v)
+				}
+			}
+		}
+	}
+	g.sortAdj()
+	return g
+}
+
+func mustEdge(g *Graph, u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}

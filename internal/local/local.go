@@ -1,0 +1,476 @@
+package local
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/graph"
+	"github.com/unifdist/unifdist/internal/rng"
+	"github.com/unifdist/unifdist/internal/simnet"
+	"github.com/unifdist/unifdist/internal/zeroround"
+)
+
+// Params holds the resolved parameters of the LOCAL tester of Section 6.
+type Params struct {
+	// N, K are the domain and network sizes; Eps the distance parameter;
+	// P the target error probability.
+	N, K int
+	Eps  float64
+	P    float64
+	// R is the gathering radius: the MIS is computed on G^R and each MIS
+	// node collects the samples of (at least) its R/2-neighborhood.
+	R int
+	// VirtualNodes is the planned number of MIS nodes ⌊2k/R⌋ (an upper
+	// bound; the realized count depends on the topology).
+	VirtualNodes int
+	// AND is the 0-round AND-rule configuration the virtual nodes run.
+	AND zeroround.ANDConfig
+	// Feasible reports whether the AND configuration's per-node sample
+	// demand fits in the guaranteed R/2 samples per MIS node.
+	Feasible bool
+}
+
+// SolveLocal finds the smallest radius r such that the 0-round AND tester
+// over ⌊2k/r⌋ virtual nodes with r/2 samples each reaches error p — the
+// paper's self-referential definition of r in Section 6.
+func SolveLocal(n, k int, eps, p float64) (Params, error) {
+	if k < 1 {
+		return Params{}, fmt.Errorf("local: k=%d < 1", k)
+	}
+	// A radius beyond k−1 adds nothing on a connected graph (G^r is already
+	// complete), so the scan is capped at k.
+	maxR := k
+	if maxR < 2 {
+		maxR = 2
+	}
+	var radii []int
+	for r := 2; r < maxR; r *= 2 {
+		radii = append(radii, r, r+r/2)
+	}
+	radii = append(radii, maxR)
+
+	var (
+		bestCovered Params
+		covered     bool
+		last        Params
+	)
+	for _, rr := range radii {
+		if rr > maxR {
+			continue
+		}
+		ell := 2 * k / rr
+		if ell < 1 {
+			ell = 1
+		}
+		cfg, err := zeroround.SolveAND(n, ell, eps, p)
+		if err != nil {
+			continue
+		}
+		pp := Params{
+			N:            n,
+			K:            k,
+			Eps:          eps,
+			P:            p,
+			R:            rr,
+			VirtualNodes: ell,
+			AND:          cfg,
+			Feasible:     cfg.Feasible && cfg.SamplesPerNode <= rr/2,
+		}
+		last = pp
+		if pp.Feasible {
+			return pp, nil
+		}
+		if !covered && cfg.SamplesPerNode <= rr/2 {
+			// Sample demand fits in the guaranteed r/2 even though the AND
+			// configuration itself is best-effort.
+			bestCovered = pp
+			covered = true
+		}
+	}
+	if covered {
+		return bestCovered, nil
+	}
+	if last.R == 0 {
+		return Params{}, fmt.Errorf("local: no parameters for n=%d k=%d eps=%v", n, k, eps)
+	}
+	return last, nil
+}
+
+// Result reports a LOCAL uniformity execution.
+type Result struct {
+	// Accept is the network's AND-rule verdict.
+	Accept bool
+	// GRounds is the total cost in G-rounds: R × (MIS rounds on G^R) for
+	// Luby plus 2R+1 rounds of beaconing and routing.
+	GRounds int
+	// MISNodes is the number of virtual nodes (MIS vertices of G^R).
+	MISNodes int
+	// MinSamples and MaxSamples are the per-MIS-node collected sample
+	// counts (including the MIS node's own sample).
+	MinSamples, MaxSamples int
+	// Rejecting is the number of virtual nodes that voted reject.
+	Rejecting int
+}
+
+// RunUniformity executes the Section 6 protocol on g: tokens[v] is node
+// v's sample. The MIS is computed distributively on G^p.R, samples are
+// routed to MIS nodes by beacon gradients, and each MIS node votes with the
+// m-repetition collision tester; the network accepts iff all votes accept.
+func RunUniformity(g *graph.Graph, tokens []uint64, p Params, seed uint64) (Result, error) {
+	if len(tokens) != g.N() {
+		return Result{}, fmt.Errorf("local: %d tokens for %d nodes", len(tokens), g.N())
+	}
+	per := make([][]uint64, len(tokens))
+	for v, tok := range tokens {
+		per[v] = []uint64{tok}
+	}
+	return runUniformity(g, per, p, seed)
+}
+
+// runUniformity is the shared implementation over per-node sample sets.
+func runUniformity(g *graph.Graph, tokensPerNode [][]uint64, p Params, seed uint64) (Result, error) {
+	if p.R < 1 {
+		return Result{}, fmt.Errorf("local: radius %d < 1", p.R)
+	}
+	// A radius beyond k−1 is equivalent to k−1 on a connected graph.
+	radius := p.R
+	if radius >= g.N() && g.N() > 1 {
+		radius = g.N() - 1
+	}
+	power := g.Power(radius)
+	mis, err := LubyMIS(power, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := VerifyMIS(power, mis.InMIS); err != nil {
+		return Result{}, err
+	}
+
+	collected, gatherRounds, err := gather(g, tokensPerNode, mis.InMIS, radius, seed^0x9e3779b97f4a7c15)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Accept:     true,
+		GRounds:    radius*mis.Rounds + gatherRounds,
+		MinSamples: math.MaxInt,
+	}
+	for v := range mis.InMIS {
+		if !mis.InMIS[v] {
+			continue
+		}
+		res.MISNodes++
+		samples := collected[v]
+		if len(samples) < res.MinSamples {
+			res.MinSamples = len(samples)
+		}
+		if len(samples) > res.MaxSamples {
+			res.MaxSamples = len(samples)
+		}
+		if !virtualVote(p.N, p.AND.M, samples) {
+			res.Rejecting++
+			res.Accept = false
+		}
+	}
+	if res.MISNodes == 0 {
+		return Result{}, fmt.Errorf("local: empty MIS")
+	}
+	if res.MinSamples == math.MaxInt {
+		res.MinSamples = 0
+	}
+	return res, nil
+}
+
+// RunUniformityOnDistribution draws one sample per node from d and runs the
+// protocol.
+func RunUniformityOnDistribution(g *graph.Graph, d dist.Distribution, p Params, r *rng.RNG) (Result, error) {
+	tokens := make([]uint64, g.N())
+	for v := range tokens {
+		tokens[v] = uint64(d.Sample(r))
+	}
+	return RunUniformity(g, tokens, p, r.Uint64())
+}
+
+// RunUniformityMulti is RunUniformity with s ≥ 0 samples per node (the
+// paper's "this is not essential" remark on the one-sample assumption):
+// node v routes every sample in tokensPerNode[v] to its MIS node.
+func RunUniformityMulti(g *graph.Graph, tokensPerNode [][]uint64, p Params, seed uint64) (Result, error) {
+	if len(tokensPerNode) != g.N() {
+		return Result{}, fmt.Errorf("local: %d token sets for %d nodes", len(tokensPerNode), g.N())
+	}
+	return runUniformity(g, tokensPerNode, p, seed)
+}
+
+// virtualVote runs the m-repetition single-collision tester on a virtual
+// node's collected samples: split into m equal blocks and reject iff every
+// block contains a collision. Nodes with too few samples to form 2-sample
+// blocks accept (they carry no signal).
+func virtualVote(n, m int, samples []uint64) bool {
+	if m < 1 {
+		m = 1
+	}
+	block := len(samples) / m
+	if block < 2 {
+		return true
+	}
+	for i := 0; i < m; i++ {
+		if !blockHasCollision(samples[i*block : (i+1)*block]) {
+			return true
+		}
+	}
+	return false
+}
+
+func blockHasCollision(block []uint64) bool {
+	seen := make(map[uint64]struct{}, len(block))
+	for _, v := range block {
+		if _, ok := seen[v]; ok {
+			return true
+		}
+		seen[v] = struct{}{}
+	}
+	return false
+}
+
+// Beacon/routing message types.
+const (
+	gatherMsgBeacon byte = iota + 1
+	gatherMsgSamples
+)
+
+// gather routes every node's token to its nearest MIS node (ties broken by
+// lowest MIS ID) using R rounds of beacon flooding followed by R+1 rounds
+// of gradient routing. It returns the samples collected per MIS node and
+// the number of simulator rounds used.
+func gather(g *graph.Graph, tokensPerNode [][]uint64, inMIS []bool, r int, seed uint64) (map[int][]uint64, int, error) {
+	nodes := make([]simnet.Node, g.N())
+	impls := make([]*gatherNode, g.N())
+	for v := range nodes {
+		impls[v] = &gatherNode{
+			radius: r,
+			inMIS:  inMIS[v],
+			tokens: tokensPerNode[v],
+		}
+		nodes[v] = impls[v]
+	}
+	stats, err := simnet.Run(g, nodes, simnet.Config{Seed: seed})
+	if err != nil {
+		return nil, 0, fmt.Errorf("local: gather: %w", err)
+	}
+	collected := make(map[int][]uint64)
+	for v, nd := range impls {
+		if nd.lost {
+			return nil, 0, fmt.Errorf("local: node %d found no MIS node within radius", v)
+		}
+		if nd.inMIS {
+			collected[v] = nd.collected
+		} else if len(nd.pendingOut) > 0 {
+			return nil, 0, fmt.Errorf("local: node %d still holds %d undelivered samples", v, len(nd.pendingOut))
+		}
+	}
+	return collected, stats.Rounds, nil
+}
+
+// beaconEntry tracks the best known route to one MIS node.
+type beaconEntry struct {
+	dist int
+	port int
+}
+
+// pendingSample is a sample in transit to an MIS node.
+type pendingSample struct {
+	mis   int
+	value uint64
+}
+
+// gatherNode floods MIS beacons for radius rounds, then routes samples
+// along the beacon gradients for radius+1 rounds. LOCAL messages aggregate
+// arbitrarily many entries.
+type gatherNode struct {
+	ctx        *simnet.Context
+	radius     int
+	inMIS      bool
+	tokens     []uint64
+	round      int
+	routes     map[int]beaconEntry // MIS id → best route
+	fresh      []int               // MIS ids learned this round (to re-flood)
+	collected  []uint64
+	pendingOut []pendingSample
+	sent       bool
+	lost       bool
+}
+
+// Init implements simnet.Node.
+func (nd *gatherNode) Init(ctx *simnet.Context) {
+	nd.ctx = ctx
+	nd.routes = make(map[int]beaconEntry)
+	if nd.inMIS {
+		nd.collected = append([]uint64(nil), nd.tokens...)
+		nd.routes[ctx.ID] = beaconEntry{dist: 0, port: -1}
+		nd.fresh = []int{ctx.ID}
+	}
+}
+
+// Round implements simnet.Node.
+func (nd *gatherNode) Round(in []simnet.PortMessage) ([]simnet.PortMessage, bool) {
+	nd.round++
+	var out []simnet.PortMessage
+	for _, m := range in {
+		switch m.Payload[0] {
+		case gatherMsgBeacon:
+			nd.handleBeacon(m)
+		case gatherMsgSamples:
+			nd.handleSamples(m)
+		}
+	}
+	switch {
+	case nd.round <= nd.radius:
+		// Beacon phase: re-flood newly learned MIS ids with incremented
+		// distances.
+		if len(nd.fresh) > 0 {
+			payload := encodeBeacons(nd.fresh, nd.routes)
+			for p := 0; p < nd.ctx.Degree; p++ {
+				out = append(out, simnet.PortMessage{Port: p, Payload: payload})
+			}
+			nd.fresh = nil
+		}
+	default:
+		// Routing phase: pick a destination once, then forward everything
+		// pending one hop per round.
+		if !nd.sent && !nd.inMIS {
+			nd.sent = true
+			if mis, ok := nd.bestMIS(); ok {
+				for _, tok := range nd.tokens {
+					nd.pendingOut = append(nd.pendingOut, pendingSample{mis: mis, value: tok})
+				}
+			} else if len(nd.tokens) > 0 {
+				// MIS maximality on G^r guarantees an MIS node within
+				// radius r on a connected graph; reaching here is a bug.
+				nd.lost = true
+			}
+		}
+		out = append(out, nd.routeSamples()...)
+	}
+	done := nd.round > 2*nd.radius+1
+	return out, done
+}
+
+func (nd *gatherNode) handleBeacon(m simnet.PortMessage) {
+	entries := decodeBeacons(m.Payload)
+	for _, e := range entries {
+		if e.dist > nd.radius {
+			continue // out of gathering range
+		}
+		cur, ok := nd.routes[e.mis]
+		if !ok || e.dist < cur.dist {
+			nd.routes[e.mis] = beaconEntry{dist: e.dist, port: m.Port}
+			nd.fresh = append(nd.fresh, e.mis)
+		}
+	}
+}
+
+func (nd *gatherNode) handleSamples(m simnet.PortMessage) {
+	samples := decodeSamples(m.Payload)
+	for _, s := range samples {
+		if nd.inMIS && s.mis == nd.ctx.ID {
+			nd.collected = append(nd.collected, s.value)
+			continue
+		}
+		nd.pendingOut = append(nd.pendingOut, s)
+	}
+}
+
+// bestMIS returns the nearest MIS node (ties by lowest id).
+func (nd *gatherNode) bestMIS() (int, bool) {
+	best := -1
+	bestDist := math.MaxInt
+	for mis, e := range nd.routes {
+		if e.dist < bestDist || (e.dist == bestDist && mis < best) {
+			best = mis
+			bestDist = e.dist
+		}
+	}
+	return best, best >= 0
+}
+
+// routeSamples forwards every pending sample one hop along its gradient.
+// Samples sharing a next hop are batched into one LOCAL message.
+func (nd *gatherNode) routeSamples() []simnet.PortMessage {
+	if len(nd.pendingOut) == 0 {
+		return nil
+	}
+	byPort := make(map[int][]pendingSample)
+	var stuck []pendingSample
+	for _, s := range nd.pendingOut {
+		route, ok := nd.routes[s.mis]
+		if !ok || route.port < 0 {
+			stuck = append(stuck, s)
+			continue
+		}
+		byPort[route.port] = append(byPort[route.port], s)
+	}
+	nd.pendingOut = stuck
+	out := make([]simnet.PortMessage, 0, len(byPort))
+	for port, samples := range byPort {
+		out = append(out, simnet.PortMessage{Port: port, Payload: encodeSamples(samples)})
+	}
+	return out
+}
+
+type beaconWire struct {
+	mis  int
+	dist int
+}
+
+// encodeBeacons emits the node's current (mis, dist) entries for the given
+// fresh ids, with distance incremented for the receiver.
+func encodeBeacons(fresh []int, routes map[int]beaconEntry) []byte {
+	buf := make([]byte, 1, 1+8*len(fresh))
+	buf[0] = gatherMsgBeacon
+	for _, mis := range fresh {
+		var entry [8]byte
+		binary.LittleEndian.PutUint32(entry[:4], uint32(mis))
+		binary.LittleEndian.PutUint32(entry[4:], uint32(routes[mis].dist+1))
+		buf = append(buf, entry[:]...)
+	}
+	return buf
+}
+
+func decodeBeacons(payload []byte) []beaconWire {
+	body := payload[1:]
+	entries := make([]beaconWire, 0, len(body)/8)
+	for i := 0; i+8 <= len(body); i += 8 {
+		entries = append(entries, beaconWire{
+			mis:  int(binary.LittleEndian.Uint32(body[i : i+4])),
+			dist: int(binary.LittleEndian.Uint32(body[i+4 : i+8])),
+		})
+	}
+	return entries
+}
+
+func encodeSamples(samples []pendingSample) []byte {
+	buf := make([]byte, 1, 1+12*len(samples))
+	buf[0] = gatherMsgSamples
+	for _, s := range samples {
+		var entry [12]byte
+		binary.LittleEndian.PutUint32(entry[:4], uint32(s.mis))
+		binary.LittleEndian.PutUint64(entry[4:], s.value)
+		buf = append(buf, entry[:]...)
+	}
+	return buf
+}
+
+func decodeSamples(payload []byte) []pendingSample {
+	body := payload[1:]
+	samples := make([]pendingSample, 0, len(body)/12)
+	for i := 0; i+12 <= len(body); i += 12 {
+		samples = append(samples, pendingSample{
+			mis:   int(binary.LittleEndian.Uint32(body[i : i+4])),
+			value: binary.LittleEndian.Uint64(body[i+4 : i+12]),
+		})
+	}
+	return samples
+}

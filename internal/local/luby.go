@@ -1,0 +1,193 @@
+// Package local implements the paper's LOCAL-model uniformity tester
+// (Section 6): find a maximal independent set of the power graph G^r with
+// Luby's algorithm, route every node's sample to a nearby MIS node, and run
+// the 0-round AND-rule tester with the MIS nodes as "virtual nodes".
+//
+// Rounds are accounted in G-rounds: one round of G^r costs r rounds of G,
+// the standard LOCAL simulation argument. The LOCAL model places no bound
+// on message size, so beacon and sample-routing messages may aggregate
+// arbitrarily many values.
+package local
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/unifdist/unifdist/internal/graph"
+	"github.com/unifdist/unifdist/internal/simnet"
+)
+
+// MISResult reports a distributed Luby execution.
+type MISResult struct {
+	// InMIS[v] reports whether vertex v joined the independent set.
+	InMIS []bool
+	// Iterations is the number of Luby iterations until every node decided.
+	Iterations int
+	// Rounds is the number of simulator rounds consumed (3 per iteration).
+	Rounds int
+}
+
+// LubyMIS computes a maximal independent set of g with Luby's distributed
+// algorithm, executed faithfully on the message-passing simulator.
+func LubyMIS(g *graph.Graph, seed uint64) (MISResult, error) {
+	nodes := make([]simnet.Node, g.N())
+	impls := make([]*lubyNode, g.N())
+	for v := range nodes {
+		impls[v] = &lubyNode{}
+		nodes[v] = impls[v]
+	}
+	stats, err := simnet.Run(g, nodes, simnet.Config{Seed: seed})
+	if err != nil {
+		return MISResult{}, fmt.Errorf("local: luby: %w", err)
+	}
+	res := MISResult{InMIS: make([]bool, g.N()), Rounds: stats.Rounds}
+	iters := 0
+	for v, nd := range impls {
+		switch nd.state {
+		case lubyInMIS:
+			res.InMIS[v] = true
+		case lubyDead:
+		default:
+			return MISResult{}, fmt.Errorf("local: node %d ended undecided", v)
+		}
+		if nd.iteration > iters {
+			iters = nd.iteration
+		}
+	}
+	res.Iterations = iters
+	return res, nil
+}
+
+// VerifyMIS checks independence and maximality of a candidate MIS.
+func VerifyMIS(g *graph.Graph, inMIS []bool) error {
+	if len(inMIS) != g.N() {
+		return fmt.Errorf("local: MIS vector has %d entries for %d vertices", len(inMIS), g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		hasMISNeighbor := false
+		for _, u := range g.Neighbors(v) {
+			if inMIS[u] {
+				hasMISNeighbor = true
+				if inMIS[v] {
+					return fmt.Errorf("local: adjacent MIS vertices %d and %d", v, u)
+				}
+			}
+		}
+		if !inMIS[v] && !hasMISNeighbor {
+			return fmt.Errorf("local: vertex %d is uncovered (not maximal)", v)
+		}
+	}
+	return nil
+}
+
+type lubyState int
+
+const (
+	lubyContender lubyState = iota + 1
+	lubyInMIS
+	lubyDead
+)
+
+// Luby sub-round message types.
+const (
+	lubyMsgValue byte = iota + 1
+	lubyMsgJoin
+	lubyMsgLeave
+)
+
+// lubyNode runs Luby's algorithm: each iteration is three simulator rounds
+// (exchange random values; winners announce JOIN; new dead nodes announce
+// LEAVE), with nodes tracking which neighbors are still contending.
+type lubyNode struct {
+	ctx       *simnet.Context
+	state     lubyState
+	phase     int // 0 = send values, 1 = decide+announce join, 2 = process leave
+	iteration int
+	alive     map[int]bool
+	value     uint64
+	announced bool
+}
+
+// Init implements simnet.Node.
+func (nd *lubyNode) Init(ctx *simnet.Context) {
+	nd.ctx = ctx
+	nd.state = lubyContender
+	nd.alive = make(map[int]bool, ctx.Degree)
+	for p := 0; p < ctx.Degree; p++ {
+		nd.alive[p] = true
+	}
+}
+
+// Round implements simnet.Node.
+func (nd *lubyNode) Round(in []simnet.PortMessage) ([]simnet.PortMessage, bool) {
+	var out []simnet.PortMessage
+	switch nd.phase {
+	case 0:
+		// Start of iteration: contenders draw and broadcast a value.
+		nd.iteration++
+		if nd.state == lubyContender {
+			nd.value = nd.ctx.RNG.Uint64()
+			payload := make([]byte, 13)
+			payload[0] = lubyMsgValue
+			binary.LittleEndian.PutUint64(payload[1:], nd.value)
+			binary.LittleEndian.PutUint32(payload[9:], uint32(nd.ctx.ID))
+			for p := range nd.alive {
+				out = append(out, simnet.PortMessage{Port: p, Payload: payload})
+			}
+		}
+	case 1:
+		// Decide: a contender wins if its (value, ID) beats every alive
+		// contender neighbor's.
+		if nd.state == lubyContender {
+			win := true
+			for _, m := range in {
+				if m.Payload[0] != lubyMsgValue {
+					continue
+				}
+				val := binary.LittleEndian.Uint64(m.Payload[1:])
+				id := int(binary.LittleEndian.Uint32(m.Payload[9:]))
+				if val > nd.value || (val == nd.value && id > nd.ctx.ID) {
+					win = false
+				}
+			}
+			if win {
+				nd.state = lubyInMIS
+				for p := range nd.alive {
+					out = append(out, simnet.PortMessage{Port: p, Payload: []byte{lubyMsgJoin}})
+				}
+				nd.announced = true
+			}
+		}
+	case 2:
+		// Process joins: any JOIN kills a contender; it announces LEAVE so
+		// surviving contenders stop waiting for its values.
+		joined := false
+		for _, m := range in {
+			if m.Payload[0] == lubyMsgJoin {
+				joined = true
+				delete(nd.alive, m.Port)
+			}
+		}
+		if nd.state == lubyContender && joined {
+			nd.state = lubyDead
+			for p := range nd.alive {
+				out = append(out, simnet.PortMessage{Port: p, Payload: []byte{lubyMsgLeave}})
+			}
+			nd.announced = true
+		}
+	}
+	// LEAVE messages can arrive in any phase right after a kill round.
+	for _, m := range in {
+		if m.Payload[0] == lubyMsgLeave {
+			delete(nd.alive, m.Port)
+		}
+	}
+	nd.phase = (nd.phase + 1) % 3
+	// A decided node halts once its announcement round has passed.
+	done := nd.state != lubyContender && nd.announced && nd.phase == 0
+	if nd.state == lubyInMIS && !nd.announced {
+		// Degree-zero contender joined without needing announcements.
+		done = true
+	}
+	return out, done
+}

@@ -1,0 +1,204 @@
+// Package reduction implements the filter that reduces testing identity to
+// a fixed known distribution η to uniformity testing [Goldreich 2016;
+// Diakonikolas–Kane 2016], referenced in the paper's introduction as the
+// reason uniformity is the canonical distributed testing problem: the
+// filter is a randomized per-sample mapping, so every network node can
+// apply it locally with its private randomness and then run any
+// distributed uniformity tester.
+//
+// Construction: the target η on [n] is rounded to a grained distribution
+// η̃ with η̃(i) = m_i/M (m_i ≥ 1, Σm_i = M). Element i is assigned m_i
+// dedicated buckets, and the filter maps a sample i to a uniformly random
+// bucket of i. The map sends η̃ exactly to the uniform distribution on [M]
+// and preserves L1 distances to η̃ exactly:
+//
+//	L1(F(µ), U_M) = Σ_i m_i·|µ(i)/m_i − 1/M| = L1(µ, η̃).
+//
+// Choosing the grain M ≥ 4n/ε keeps the rounding error L1(η, η̃) ≤ ε/4, so
+// an (ε/2)-uniformity tester on the filtered samples distinguishes µ = η
+// from µ being ε-far from η.
+package reduction
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/rng"
+)
+
+// Filter maps samples from a distribution on [n] to buckets in [M] so that
+// the grained target η̃ maps to uniform.
+type Filter struct {
+	n             int
+	m             int // output domain size M
+	buckets       []int
+	offsets       []int     // offsets[i] is the first bucket of element i
+	rounded       []float64 // η̃(i) = buckets[i]/M
+	roundingError float64
+}
+
+// GrainForEpsilon returns the standard grain M = ⌈4n/ε⌉ that bounds the
+// rounding error by ε/4.
+func GrainForEpsilon(n int, eps float64) int {
+	if eps <= 0 {
+		panic("reduction: eps must be positive")
+	}
+	return int(math.Ceil(4 * float64(n) / eps))
+}
+
+// NewFilter builds the filter for target distribution eta (a probability
+// vector; it is normalized internally) at grain M. M must be at least
+// len(eta) so every element receives a bucket.
+func NewFilter(eta []float64, m int) (*Filter, error) {
+	n := len(eta)
+	if n == 0 {
+		return nil, fmt.Errorf("reduction: empty target distribution")
+	}
+	if m < n {
+		return nil, fmt.Errorf("reduction: grain M=%d smaller than domain %d", m, n)
+	}
+	total := 0.0
+	for i, v := range eta {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("reduction: invalid mass %v at %d", v, i)
+		}
+		total += v
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("reduction: zero total mass")
+	}
+
+	// Largest-remainder allocation with a floor of one bucket per element.
+	f := &Filter{
+		n:       n,
+		m:       m,
+		buckets: make([]int, n),
+		offsets: make([]int, n+1),
+		rounded: make([]float64, n),
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, n)
+	assigned := 0
+	for i, v := range eta {
+		p := v / total
+		ideal := p * float64(m)
+		b := int(math.Floor(ideal))
+		if b < 1 {
+			b = 1
+		}
+		f.buckets[i] = b
+		assigned += b
+		rems[i] = rem{idx: i, frac: ideal - math.Floor(ideal)}
+	}
+	if assigned > m {
+		// The floor-of-one inflation exceeded M: shrink the largest
+		// allocations (keeps every element ≥ 1; possible since m ≥ n).
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return f.buckets[order[a]] > f.buckets[order[b]] })
+		for assigned > m {
+			for _, i := range order {
+				if assigned == m {
+					break
+				}
+				if f.buckets[i] > 1 {
+					f.buckets[i]--
+					assigned--
+				}
+			}
+		}
+	} else if assigned < m {
+		sort.Slice(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+		i := 0
+		for assigned < m {
+			f.buckets[rems[i%n].idx]++
+			assigned++
+			i++
+		}
+	}
+
+	off := 0
+	for i, b := range f.buckets {
+		f.offsets[i] = off
+		off += b
+		f.rounded[i] = float64(b) / float64(m)
+		f.roundingError += math.Abs(f.rounded[i] - eta[i]/total)
+	}
+	f.offsets[n] = off
+	return f, nil
+}
+
+// InputDomain returns n, the domain of the target distribution.
+func (f *Filter) InputDomain() int { return f.n }
+
+// OutputDomain returns M, the domain of the filtered samples.
+func (f *Filter) OutputDomain() int { return f.m }
+
+// RoundingError returns L1(η, η̃), the distance between the requested
+// target and the grained target the filter actually tests against.
+func (f *Filter) RoundingError() float64 { return f.roundingError }
+
+// Rounded returns η̃(i).
+func (f *Filter) Rounded(i int) float64 { return f.rounded[i] }
+
+// Apply maps one sample to a uniformly random bucket of its element.
+func (f *Filter) Apply(sample int, r *rng.RNG) int {
+	if sample < 0 || sample >= f.n {
+		panic(fmt.Sprintf("reduction: sample %d outside domain [0, %d)", sample, f.n))
+	}
+	return f.offsets[sample] + r.Intn(f.buckets[sample])
+}
+
+// elementOf returns the input element owning a bucket.
+func (f *Filter) elementOf(bucket int) int {
+	i := sort.SearchInts(f.offsets, bucket+1) - 1
+	return i
+}
+
+// Filtered wraps a source distribution with the filter: sampling draws
+// from the source and applies the filter, and probabilities are the
+// pushforward µ(i)/m_i. It implements dist.Distribution on [M], so any
+// uniformity tester in the library can consume it directly.
+type Filtered struct {
+	source dist.Distribution
+	filter *Filter
+}
+
+// NewFiltered wraps source with f. The source's domain must match the
+// filter's input domain.
+func NewFiltered(source dist.Distribution, f *Filter) (*Filtered, error) {
+	if source.N() != f.n {
+		return nil, fmt.Errorf("reduction: source domain %d != filter domain %d", source.N(), f.n)
+	}
+	return &Filtered{source: source, filter: f}, nil
+}
+
+// N implements dist.Distribution.
+func (fd *Filtered) N() int { return fd.filter.m }
+
+// Prob implements dist.Distribution: bucket b of element i carries mass
+// µ(i)/m_i.
+func (fd *Filtered) Prob(b int) float64 {
+	if b < 0 || b >= fd.filter.m {
+		panic(fmt.Sprintf("reduction: bucket %d outside [0, %d)", b, fd.filter.m))
+	}
+	i := fd.filter.elementOf(b)
+	return fd.source.Prob(i) / float64(fd.filter.buckets[i])
+}
+
+// Sample implements dist.Distribution.
+func (fd *Filtered) Sample(r *rng.RNG) int {
+	return fd.filter.Apply(fd.source.Sample(r), r)
+}
+
+// Name implements dist.Distribution.
+func (fd *Filtered) Name() string {
+	return fmt.Sprintf("filtered(%s,M=%d)", fd.source.Name(), fd.filter.m)
+}

@@ -1,0 +1,261 @@
+package reduction
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/rng"
+	"github.com/unifdist/unifdist/internal/tester"
+)
+
+func TestNewFilterValidation(t *testing.T) {
+	if _, err := NewFilter(nil, 10); err == nil {
+		t.Error("empty target accepted")
+	}
+	if _, err := NewFilter([]float64{0.5, 0.5}, 1); err == nil {
+		t.Error("grain < domain accepted")
+	}
+	if _, err := NewFilter([]float64{-1, 2}, 10); err == nil {
+		t.Error("negative mass accepted")
+	}
+	if _, err := NewFilter([]float64{0, 0}, 10); err == nil {
+		t.Error("zero mass accepted")
+	}
+	if _, err := NewFilter([]float64{math.NaN()}, 10); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestBucketAllocationSumsToM(t *testing.T) {
+	f := func(raw []uint8, extra uint8) bool {
+		if len(raw) == 0 || len(raw) > 20 {
+			return true
+		}
+		eta := make([]float64, len(raw))
+		total := 0.0
+		for i, v := range raw {
+			eta[i] = float64(v)
+			total += eta[i]
+		}
+		if total == 0 {
+			return true
+		}
+		m := len(raw) + int(extra)
+		flt, err := NewFilter(eta, m)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for i := 0; i < flt.InputDomain(); i++ {
+			b := flt.offsets[i+1] - flt.offsets[i]
+			if b < 1 {
+				return false // every element needs a bucket
+			}
+			sum += b
+		}
+		return sum == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundingErrorBound(t *testing.T) {
+	// With grain M = 4n/ε the rounding error must be ≤ ε/4 plus the
+	// floor-of-one inflation (≤ 2n/M total).
+	n, eps := 100, 0.5
+	m := GrainForEpsilon(n, eps)
+	z := dist.NewZipf(n, 1.1)
+	eta := make([]float64, n)
+	for i := range eta {
+		eta[i] = z.Prob(i)
+	}
+	f, err := NewFilter(eta, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.RoundingError() > eps/4+2*float64(n)/float64(m) {
+		t.Fatalf("rounding error %v exceeds ε/4 = %v", f.RoundingError(), eps/4)
+	}
+}
+
+func TestGrainForEpsilon(t *testing.T) {
+	if got := GrainForEpsilon(100, 0.5); got != 800 {
+		t.Fatalf("GrainForEpsilon = %d, want 800", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("eps=0 did not panic")
+		}
+	}()
+	GrainForEpsilon(10, 0)
+}
+
+func TestTargetMapsToUniform(t *testing.T) {
+	// The grained target η̃ must map exactly to U(M): the filtered
+	// pushforward of a source with Prob = η̃ has every bucket at 1/M.
+	eta := []float64{0.5, 0.25, 0.125, 0.125}
+	f, err := NewFilter(eta, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tilde := make([]float64, len(eta))
+	for i := range tilde {
+		tilde[i] = f.Rounded(i)
+	}
+	src := dist.MustHistogram(tilde, "eta-tilde")
+	fd, err := NewFiltered(src, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dist.L1FromUniform(fd); got > 1e-12 {
+		t.Fatalf("filtered η̃ is %v-far from uniform, want 0", got)
+	}
+}
+
+func TestDistancePreservation(t *testing.T) {
+	// L1(F(µ), U_M) = L1(µ, η̃) exactly, for any source µ.
+	f := func(rawEta, rawMu [6]uint8) bool {
+		eta := make([]float64, 6)
+		mu := make([]float64, 6)
+		te, tm := 0.0, 0.0
+		for i := 0; i < 6; i++ {
+			eta[i] = float64(rawEta[i]) + 0.5
+			mu[i] = float64(rawMu[i]) + 0.5
+			te += eta[i]
+			tm += mu[i]
+		}
+		flt, err := NewFilter(eta, 60)
+		if err != nil {
+			return false
+		}
+		src := dist.MustHistogram(mu, "mu")
+		fd, err := NewFiltered(src, flt)
+		if err != nil {
+			return false
+		}
+		// L1(µ, η̃) directly.
+		want := 0.0
+		for i := 0; i < 6; i++ {
+			want += math.Abs(src.Prob(i) - flt.Rounded(i))
+		}
+		got := dist.L1FromUniform(fd)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilteredSamplerMatchesProb(t *testing.T) {
+	eta := []float64{0.6, 0.3, 0.1}
+	f, err := NewFilter(eta, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := dist.MustHistogram([]float64{0.2, 0.5, 0.3}, "mu")
+	fd, err := NewFiltered(src, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(8)
+	const trials = 300000
+	counts := dist.EmpiricalHistogram(fd.N(), dist.SampleN(fd, trials, r))
+	for b := 0; b < fd.N(); b++ {
+		want := fd.Prob(b) * trials
+		if math.Abs(float64(counts[b])-want) > 6*math.Sqrt(want+1) {
+			t.Errorf("bucket %d: count %d, want %v", b, counts[b], want)
+		}
+	}
+}
+
+func TestApplyPanicsOutOfRange(t *testing.T) {
+	f, err := NewFilter([]float64{1, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range sample did not panic")
+		}
+	}()
+	f.Apply(2, rng.New(1))
+}
+
+func TestNewFilteredDomainMismatch(t *testing.T) {
+	f, err := NewFilter([]float64{1, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFiltered(dist.NewUniform(3), f); err == nil {
+		t.Fatal("domain mismatch accepted")
+	}
+}
+
+func TestEndToEndIdentityTesting(t *testing.T) {
+	// Test identity to a Zipf target via the reduction: samples from the
+	// target must be accepted and samples from a far distribution rejected
+	// by the centralized baseline uniformity tester on filtered samples.
+	n := 400
+	z := dist.NewZipf(n, 1.0)
+	eta := make([]float64, n)
+	for i := range eta {
+		eta[i] = z.Prob(i)
+	}
+	eps := 0.8
+	m := GrainForEpsilon(n, eps)
+	f, err := NewFilter(eta, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// µ = η: filtered distribution is ~uniform on [M].
+	same, err := NewFiltered(z, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// µ = uniform on [n]: far from Zipf (L1 ≈ 1.0 for s=1), so filtered is
+	// far from uniform on [M].
+	far, err := NewFiltered(dist.NewUniform(n), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dist.L1FromUniform(far); got < eps/2 {
+		t.Skipf("chosen far instance only %v-far after filtering", got)
+	}
+
+	cc, err := tester.NewCollisionCounting(m, eps/2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(77)
+	const trials = 60
+	rejSame := tester.EstimateRejectProb(cc, same, trials, r)
+	rejFar := tester.EstimateRejectProb(cc, far, trials, r)
+	if rejSame > 1.0/3 {
+		t.Errorf("µ=η rejected with prob %v", rejSame)
+	}
+	if rejFar < 2.0/3 {
+		t.Errorf("far µ rejected with prob only %v", rejFar)
+	}
+}
+
+func BenchmarkFilterApply(b *testing.B) {
+	n := 1000
+	z := dist.NewZipf(n, 1.1)
+	eta := make([]float64, n)
+	for i := range eta {
+		eta[i] = z.Prob(i)
+	}
+	f, err := NewFilter(eta, 8000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Apply(i%n, r)
+	}
+}

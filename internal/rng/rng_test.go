@@ -1,0 +1,207 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 agreed on %d of 100 draws", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("seed 0 produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child stream must differ from the parent's continued stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("parent and child agreed on %d of 100 draws", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	c1 := New(7).Split()
+	c2 := New(7).Split()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("split of identical parents diverged at draw %d", i)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		n := 1 + i%37
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	const trials = 200000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("mean of %d uniforms = %v, want ~0.5", trials, mean)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(17)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d deviates from %v by more than 5σ", i, c, want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(23)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(29)
+	const trials = 100000
+	heads := 0
+	for i := 0; i < trials; i++ {
+		if r.Bool() {
+			heads++
+		}
+	}
+	if math.Abs(float64(heads)-trials/2) > 5*math.Sqrt(trials/4) {
+		t.Fatalf("Bool: %d heads of %d", heads, trials)
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := New(31)
+	for i := 0; i < 1000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 returned negative value")
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(1000003)
+	}
+}

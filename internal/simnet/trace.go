@@ -1,0 +1,86 @@
+package simnet
+
+import (
+	"fmt"
+	"io"
+)
+
+// Tracer observes a simulation. Implementations must be fast; OnMessage is
+// called for every delivered message. Tracers run on the coordinator
+// goroutine, so no synchronization is needed.
+type Tracer interface {
+	// OnRoundStart is called before a round's inboxes are dispatched.
+	OnRoundStart(round, activeNodes int)
+	// OnMessage is called for each delivered message.
+	OnMessage(round, from, to int, payload []byte)
+	// OnHalt is called when a node halts.
+	OnHalt(round, node int)
+}
+
+// RoundSummary aggregates one round's traffic.
+type RoundSummary struct {
+	// Round is the 1-based round number.
+	Round int
+	// Active is the number of nodes that executed the round.
+	Active int
+	// Messages and Bytes count the round's delivered traffic.
+	Messages int
+	Bytes    int
+	// Halted is the number of nodes that halted during the round.
+	Halted int
+}
+
+// SummaryTracer collects per-round summaries.
+type SummaryTracer struct {
+	rounds []RoundSummary
+}
+
+var _ Tracer = (*SummaryTracer)(nil)
+
+// OnRoundStart implements Tracer.
+func (s *SummaryTracer) OnRoundStart(round, active int) {
+	s.rounds = append(s.rounds, RoundSummary{Round: round, Active: active})
+}
+
+// OnMessage implements Tracer.
+func (s *SummaryTracer) OnMessage(round, _, _ int, payload []byte) {
+	cur := s.current(round)
+	cur.Messages++
+	cur.Bytes += len(payload)
+}
+
+// OnHalt implements Tracer.
+func (s *SummaryTracer) OnHalt(round, _ int) {
+	s.current(round).Halted++
+}
+
+func (s *SummaryTracer) current(round int) *RoundSummary {
+	if len(s.rounds) == 0 || s.rounds[len(s.rounds)-1].Round != round {
+		s.rounds = append(s.rounds, RoundSummary{Round: round})
+	}
+	return &s.rounds[len(s.rounds)-1]
+}
+
+// Rounds returns the collected summaries.
+func (s *SummaryTracer) Rounds() []RoundSummary {
+	out := make([]RoundSummary, len(s.rounds))
+	copy(out, s.rounds)
+	return out
+}
+
+// Dump writes a compact per-round table, merging quiet stretches.
+func (s *SummaryTracer) Dump(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "round  active  msgs  bytes  halted"); err != nil {
+		return err
+	}
+	for _, r := range s.rounds {
+		if r.Messages == 0 && r.Halted == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%5d  %6d  %4d  %5d  %6d\n",
+			r.Round, r.Active, r.Messages, r.Bytes, r.Halted); err != nil {
+			return err
+		}
+	}
+	return nil
+}

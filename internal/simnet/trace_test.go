@@ -1,0 +1,83 @@
+package simnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/unifdist/unifdist/internal/graph"
+)
+
+func TestSummaryTracerCollects(t *testing.T) {
+	g := graph.NewLine(2)
+	a := &pingPong{starter: true}
+	b := &pingPong{}
+	tracer := &SummaryTracer{}
+	stats, err := Run(g, []Node{a, b}, Config{Seed: 1, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := tracer.Rounds()
+	if len(rounds) == 0 {
+		t.Fatal("tracer collected nothing")
+	}
+	totalMsgs, totalHalts, totalBytes := 0, 0, 0
+	for _, r := range rounds {
+		totalMsgs += r.Messages
+		totalHalts += r.Halted
+		totalBytes += r.Bytes
+	}
+	if totalMsgs != stats.Messages {
+		t.Errorf("tracer saw %d messages, stats %d", totalMsgs, stats.Messages)
+	}
+	if int64(totalBytes) != stats.Bytes {
+		t.Errorf("tracer saw %d bytes, stats %d", totalBytes, stats.Bytes)
+	}
+	if totalHalts != g.N() {
+		t.Errorf("tracer saw %d halts, want %d", totalHalts, g.N())
+	}
+	if rounds[0].Active != 2 {
+		t.Errorf("round 1 active = %d, want 2", rounds[0].Active)
+	}
+}
+
+func TestSummaryTracerDump(t *testing.T) {
+	g := graph.NewRing(6)
+	nodes := make([]Node, 6)
+	for i := range nodes {
+		nodes[i] = &floodMax{limit: 4}
+	}
+	tracer := &SummaryTracer{}
+	if _, err := Run(g, nodes, Config{Seed: 2, Tracer: tracer}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tracer.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "round") || !strings.Contains(out, "msgs") {
+		t.Fatalf("dump missing header: %s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 2 {
+		t.Fatalf("dump has no data rows: %s", out)
+	}
+}
+
+func TestTracerRoundsReturnsCopy(t *testing.T) {
+	tracer := &SummaryTracer{}
+	tracer.OnRoundStart(1, 5)
+	tracer.OnMessage(1, 0, 1, []byte{1, 2})
+	rounds := tracer.Rounds()
+	rounds[0].Messages = 999
+	if tracer.Rounds()[0].Messages == 999 {
+		t.Fatal("Rounds exposed internal state")
+	}
+}
+
+func TestNilTracerIsFine(t *testing.T) {
+	g := graph.NewLine(2)
+	if _, err := Run(g, []Node{silent{}, silent{}}, Config{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package zeroround
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/rng"
+)
+
+// EstimateErrorParallel is EstimateError with trials fanned out across
+// worker goroutines, each with an independent generator split from r. The
+// result is deterministic in r regardless of scheduling: trial i always
+// uses the i-th split.
+func (nw *Network) EstimateErrorParallel(d dist.Distribution, wantAccept bool, trials int, r *rng.RNG) float64 {
+	if trials <= 0 {
+		return 0
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	// Pre-split one generator per trial so the assignment of randomness to
+	// trials does not depend on goroutine interleaving.
+	gens := make([]*rng.RNG, trials)
+	for i := range gens {
+		gens[i] = r.Split()
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		wrong int
+	)
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			local := 0
+			for i := range next {
+				if got, _ := nw.Run(d, gens[i]); got != wantAccept {
+					local++
+				}
+			}
+			mu.Lock()
+			wrong += local
+			mu.Unlock()
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return float64(wrong) / float64(trials)
+}

@@ -1,0 +1,62 @@
+package zeroround
+
+import (
+	"math"
+	"testing"
+
+	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/rng"
+)
+
+func TestEstimateErrorParallelDeterministic(t *testing.T) {
+	n := 1 << 14
+	cfg, err := SolveThreshold(n, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := BuildThreshold(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := dist.NewUniform(n)
+	a := nw.EstimateErrorParallel(u, true, 40, rng.New(5))
+	b := nw.EstimateErrorParallel(u, true, 40, rng.New(5))
+	if a != b {
+		t.Fatalf("parallel estimation not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestEstimateErrorParallelMatchesSerialStatistically(t *testing.T) {
+	n := 1 << 14
+	cfg, err := SolveThreshold(n, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := BuildThreshold(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := dist.NewTwoBump(n, 1, 3)
+	const trials = 60
+	serial := nw.EstimateError(far, false, trials, rng.New(7))
+	parallel := nw.EstimateErrorParallel(far, false, trials, rng.New(7))
+	// Different random draws, same distribution: agree within a generous
+	// binomial margin.
+	if math.Abs(serial-parallel) > 0.35 {
+		t.Fatalf("serial %v vs parallel %v disagree beyond noise", serial, parallel)
+	}
+}
+
+func TestEstimateErrorParallelZeroTrials(t *testing.T) {
+	sc, err := SolveThreshold(1<<12, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := BuildThreshold(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.EstimateErrorParallel(dist.NewUniform(1<<12), true, 0, rng.New(1)); got != 0 {
+		t.Fatalf("zero trials returned %v", got)
+	}
+}
