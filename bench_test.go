@@ -25,7 +25,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tbl, err := e.Run(experiment.Quick, uint64(i)+1)
+		tbl, err := e.Run(experiment.NewRunContext(experiment.Quick, uint64(i)+1))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,44 +1,96 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestRunSingleTester(t *testing.T) {
-	if err := run([]string{"-tester", "single", "-n", "4096", "-trials", "200"}); err != nil {
+	if err := run([]string{"-tester", "single", "-n", "4096", "-trials", "200"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAmplifiedTester(t *testing.T) {
-	if err := run([]string{"-tester", "amplified", "-n", "4096", "-m", "2", "-trials", "100"}); err != nil {
+	if err := run([]string{"-tester", "amplified", "-n", "4096", "-m", "2", "-trials", "100"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCountingTester(t *testing.T) {
-	if err := run([]string{"-tester", "counting", "-n", "4096", "-trials", "50"}); err != nil {
+	if err := run([]string{"-tester", "counting", "-n", "4096", "-trials", "50"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownTester(t *testing.T) {
-	err := run([]string{"-tester", "bogus"})
+	err := run([]string{"-tester", "bogus"}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "unknown tester") {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestRunUnknownDistribution(t *testing.T) {
-	err := run([]string{"-dist", "bogus", "-trials", "10"})
+	err := run([]string{"-dist", "bogus", "-trials", "10"}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "unknown distribution") {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestRunBadDelta(t *testing.T) {
-	if err := run([]string{"-delta", "2"}); err == nil {
+	if err := run([]string{"-delta", "2"}, io.Discard); err == nil {
 		t.Fatal("delta=2 accepted")
+	}
+}
+
+func TestRunJSONDocument(t *testing.T) {
+	journalPath := filepath.Join(t.TempDir(), "run.jsonl")
+	var buf bytes.Buffer
+	if err := run([]string{"-tester", "single", "-n", "4096", "-trials", "200", "-json", "-journal", journalPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Provenance struct {
+			Tool string `json:"tool"`
+		} `json:"provenance"`
+		Results struct {
+			Tester            string   `json:"tester"`
+			Trials            int      `json:"trials"`
+			RejectProb        *float64 `json:"reject_prob"`
+			RejectProbUniform *float64 `json:"reject_prob_uniform"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("document not parseable: %v\n%s", err, buf.String())
+	}
+	if doc.Provenance.Tool != "gaptest" {
+		t.Errorf("tool = %q", doc.Provenance.Tool)
+	}
+	if doc.Results.Tester != "single" || doc.Results.Trials != 200 ||
+		doc.Results.RejectProb == nil || doc.Results.RejectProbUniform == nil {
+		t.Errorf("results = %+v", doc.Results)
+	}
+
+	data, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad journal line %q: %v", line, err)
+		}
+		kinds[ev.Kind]++
+	}
+	if kinds["run_start"] != 1 || kinds["run_end"] != 1 {
+		t.Errorf("journal kinds = %v", kinds)
 	}
 }

@@ -1,39 +1,62 @@
-// Command unifbench regenerates the experiment tables E1–E11 that
+// Command unifbench regenerates the experiment tables E1–E15 that
 // reproduce every theorem of "Distributed Uniformity Testing" (PODC 2018).
 // See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
 // results.
 //
 // Usage:
 //
-//	unifbench [-mode quick|full] [-run E1,E3,...] [-csv] [-seed N] [-list]
+//	unifbench [-mode quick|full] [-run E1,E3,...] [-csv|-markdown|-json]
+//	          [-seed N] [-list] [-journal run.jsonl]
+//	          [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -json emits one machine-readable run document (provenance, per-experiment
+// tables with durations and metric deltas, and the full metrics snapshot)
+// instead of rendered tables. -journal streams per-experiment and per-round
+// simulation events as JSON Lines while the run progresses. The profiling
+// flags wrap the whole run with runtime/pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"github.com/unifdist/unifdist/internal/experiment"
+	"github.com/unifdist/unifdist/internal/obs"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "unifbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// experimentResult is one experiment's entry in the -json document.
+type experimentResult struct {
+	*experiment.Table
+	DurationMS float64       `json:"duration_ms"`
+	Metrics    *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("unifbench", flag.ContinueOnError)
 	var (
-		modeFlag = fs.String("mode", "quick", "experiment scale: quick or full")
-		runFlag  = fs.String("run", "", "comma-separated experiment IDs (default: all)")
-		csvFlag  = fs.Bool("csv", false, "emit CSV instead of aligned text")
-		mdFlag   = fs.Bool("markdown", false, "emit markdown tables instead of aligned text")
-		seedFlag = fs.Uint64("seed", 1, "root random seed")
-		listFlag = fs.Bool("list", false, "list experiments and exit")
+		modeFlag    = fs.String("mode", "quick", "experiment scale: quick or full")
+		runFlag     = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		csvFlag     = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		mdFlag      = fs.Bool("markdown", false, "emit markdown tables instead of aligned text")
+		jsonFlag    = fs.Bool("json", false, "emit one machine-readable run document (tables + provenance + metrics)")
+		seedFlag    = fs.Uint64("seed", 1, "root random seed")
+		listFlag    = fs.Bool("list", false, "list experiments and exit")
+		journalFlag = fs.String("journal", "", "write per-experiment and per-round events to this JSONL file")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -41,7 +64,7 @@ func run(args []string) error {
 
 	if *listFlag {
 		for _, e := range experiment.All() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Description)
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Description)
 		}
 		return nil
 	}
@@ -70,30 +93,119 @@ func run(args []string) error {
 		}
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Telemetry is attached only when some sink will consume it; the
+	// default table-rendering path stays zero-overhead.
+	prov := obs.CollectProvenance("unifbench", mode.String(), *seedFlag, args)
+	rec := &obs.Recorder{}
+	if *jsonFlag {
+		rec.Registry = obs.NewRegistry()
+	}
+	if *journalFlag != "" {
+		journal, err := obs.OpenJournal(*journalFlag)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		rec.Journal = journal
+		if rec.Registry == nil {
+			rec.Registry = obs.NewRegistry()
+		}
+		journal.Write(struct {
+			Kind       string         `json:"kind"`
+			Provenance obs.Provenance `json:"provenance"`
+		}{Kind: "run_start", Provenance: prov})
+	}
+	if !rec.Enabled() {
+		rec = nil
+	}
+
+	start := time.Now()
+	var results []experimentResult
 	for _, e := range selected {
-		start := time.Now()
-		tbl, err := e.Run(mode, *seedFlag)
+		ctx := &experiment.RunContext{Mode: mode, Seed: *seedFlag, Obs: rec}
+		res, err := e.Execute(ctx)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		if *jsonFlag {
+			er := experimentResult{
+				Table:      res.Table,
+				DurationMS: float64(res.Duration.Microseconds()) / 1e3,
+			}
+			if !res.Metrics.Empty() {
+				m := res.Metrics
+				er.Metrics = &m
+			}
+			results = append(results, er)
+			continue
+		}
 		if *csvFlag {
-			if err := tbl.RenderCSV(os.Stdout); err != nil {
+			if err := res.Table.RenderCSV(stdout); err != nil {
 				return err
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 			continue
 		}
 		if *mdFlag {
-			if err := tbl.RenderMarkdown(os.Stdout); err != nil {
+			if err := res.Table.RenderMarkdown(stdout); err != nil {
 				return err
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 			continue
 		}
-		if err := tbl.Render(os.Stdout); err != nil {
+		if err := res.Table.Render(stdout); err != nil {
 			return err
 		}
-		fmt.Printf("(%s completed in %v, mode=%s)\n\n", e.ID, time.Since(start).Round(time.Millisecond), mode)
+		fmt.Fprintf(stdout, "(%s completed in %v, mode=%s)\n\n", e.ID, res.Duration.Round(time.Millisecond), mode)
+	}
+	prov.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+
+	if rec != nil && rec.Journal != nil {
+		rec.Journal.Write(struct {
+			Kind   string  `json:"kind"`
+			WallMS float64 `json:"wall_ms"`
+		}{Kind: "run_end", WallMS: prov.WallMS})
+		if err := rec.Journal.Err(); err != nil {
+			return err
+		}
+	}
+
+	if *jsonFlag {
+		doc := obs.Document{
+			Provenance: prov,
+			Results:    map[string]any{"experiments": results},
+		}
+		if rec != nil {
+			snap := rec.Registry.Snapshot()
+			doc.Metrics = &snap
+		}
+		if err := doc.WriteJSON(stdout); err != nil {
+			return err
+		}
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
 	}
 	return nil
 }

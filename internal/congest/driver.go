@@ -14,6 +14,10 @@ import (
 // targets.
 const congestBandwidth = 16
 
+// Bandwidth returns the simulator's CONGEST budget in bytes per edge per
+// round, for tracers reporting bandwidth utilization against it.
+func Bandwidth() int { return congestBandwidth }
+
 // PackagingResult reports a τ-token-packaging execution (Theorem 5.1).
 type PackagingResult struct {
 	// Stats is the simulator's round/message accounting.
@@ -157,11 +161,17 @@ func collectUniformity(stats simnet.Stats, impls []*node) (UniformityResult, err
 // RunUniformityOnDistribution draws one sample per node from d and runs the
 // uniformity protocol.
 func RunUniformityOnDistribution(g *graph.Graph, d dist.Distribution, p Params, r *rng.RNG) (UniformityResult, error) {
+	return RunUniformityOnDistributionTraced(g, d, p, r, nil)
+}
+
+// RunUniformityOnDistributionTraced is RunUniformityOnDistribution with a
+// simulator tracer attached.
+func RunUniformityOnDistributionTraced(g *graph.Graph, d dist.Distribution, p Params, r *rng.RNG, tracer simnet.Tracer) (UniformityResult, error) {
 	tokens := make([]uint64, g.N())
 	for v := range tokens {
 		tokens[v] = uint64(d.Sample(r))
 	}
-	return RunUniformity(g, tokens, p, r.Uint64())
+	return RunUniformityTraced(g, tokens, p, r.Uint64(), tracer)
 }
 
 // RunUniformityUnknownK runs the uniformity protocol without telling the

@@ -19,7 +19,8 @@ func init() {
 // runE1 sweeps (n, δ) at ε = 1 and measures the tester's completeness and
 // soundness against the paper's guarantees: Pr[reject | uniform] ≤ δ and
 // Pr[reject | ε-far] ≥ (1+γε²)δ.
-func runE1(mode Mode, seed uint64) (*Table, error) {
+func runE1(ctx *RunContext) (*Table, error) {
+	mode, seed := ctx.Mode, ctx.Seed
 	trials := 8000
 	if mode == Full {
 		trials = 200000

@@ -20,7 +20,8 @@ func init() {
 // runE2 sweeps k at fixed (n, ε, p) and reports the solver's per-node
 // sample count against a solo tester's, plus the measured network error on
 // both sides.
-func runE2(mode Mode, seed uint64) (*Table, error) {
+func runE2(ctx *RunContext) (*Table, error) {
+	mode, seed := ctx.Mode, ctx.Seed
 	trials := 25
 	ks := []int{1000, 4000, 10000, 40000}
 	if mode == Full {
@@ -54,6 +55,7 @@ func runE2(mode Mode, seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		nw.Obs = ctx.Registry()
 		errU := nw.EstimateError(dist.NewUniform(n), true, trials, r)
 		errFar := nw.EstimateError(dist.NewTwoBump(n, eps, r.Uint64()), false, trials, r)
 		t.AddRow(

@@ -18,7 +18,8 @@ func init() {
 
 // runE3 sweeps k at fixed (n, ε) and verifies the threshold tester's
 // sample scaling and error bound.
-func runE3(mode Mode, seed uint64) (*Table, error) {
+func runE3(ctx *RunContext) (*Table, error) {
+	mode, seed := ctx.Mode, ctx.Seed
 	trials := 60
 	ks := []int{2000, 8000, 32000}
 	if mode == Full {
@@ -47,6 +48,7 @@ func runE3(mode Mode, seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		nw.Obs = ctx.Registry()
 		errU := nw.EstimateError(dist.NewUniform(n), true, trials, r)
 		errFar := nw.EstimateError(dist.NewTwoBump(n, eps, r.Uint64()), false, trials, r)
 		paperS := math.Sqrt(float64(n)/float64(k)) / (eps * eps)

@@ -23,7 +23,8 @@ func init() {
 // measured. A simulation cannot prove a lower bound, but the trade-off the
 // bound predicts — error climbing toward 1/2 as s drops below √(n/k) —
 // must be visible. The note verifies Lemma 2.1's KL inequality on a grid.
-func runE4(mode Mode, seed uint64) (*Table, error) {
+func runE4(ctx *RunContext) (*Table, error) {
+	mode, seed := ctx.Mode, ctx.Seed
 	trials := 80
 	if mode == Full {
 		trials = 400

@@ -20,7 +20,8 @@ func init() {
 // runE5 builds asymmetric threshold testers for several cost vectors and
 // verifies that the maximum individual cost tracks (√n/ε²)/‖T‖₂ while the
 // error stays bounded; the AND variant's cost column uses ‖T‖₂ₘ.
-func runE5(mode Mode, seed uint64) (*Table, error) {
+func runE5(ctx *RunContext) (*Table, error) {
+	mode, seed := ctx.Mode, ctx.Seed
 	trials := 30
 	if mode == Full {
 		trials = 150

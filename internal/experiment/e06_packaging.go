@@ -19,7 +19,8 @@ func init() {
 // runE6 runs token packaging across topologies and package sizes and
 // compares measured rounds against D+τ, checking Definition 2's invariants
 // on every run.
-func runE6(mode Mode, seed uint64) (*Table, error) {
+func runE6(ctx *RunContext) (*Table, error) {
+	mode, seed := ctx.Mode, ctx.Seed
 	k := 400
 	if mode == Full {
 		k = 2000
@@ -48,7 +49,7 @@ func runE6(mode Mode, seed uint64) (*Table, error) {
 			for i := range tokens {
 				tokens[i] = r.Uint64() % 1024
 			}
-			res, err := congest.RunTokenPackaging(g, tokens, tau, r.Uint64())
+			res, err := congest.RunTokenPackagingTraced(g, tokens, tau, r.Uint64(), ctx.SimTracer("E6", congest.Bandwidth()))
 			if err != nil {
 				return nil, fmt.Errorf("%s τ=%d: %w", g.Name(), tau, err)
 			}

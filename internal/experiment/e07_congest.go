@@ -20,7 +20,8 @@ func init() {
 // runE7 runs the full CONGEST protocol: error measurement on a random
 // graph in the calibrated regime, plus round-complexity rows across
 // topologies.
-func runE7(mode Mode, seed uint64) (*Table, error) {
+func runE7(ctx *RunContext) (*Table, error) {
+	mode, seed := ctx.Mode, ctx.Seed
 	trials := 8
 	k := 8000
 	if mode == Full {
@@ -60,7 +61,10 @@ func runE7(mode Mode, seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := congest.RunUniformityOnDistribution(g, dist.NewUniform(n), p, r)
+		// One representative traced run per topology feeds the journal and
+		// metrics; the error-estimation trials above run untraced to keep
+		// journals bounded.
+		res, err := congest.RunUniformityOnDistributionTraced(g, dist.NewUniform(n), p, r, ctx.SimTracer("E7", congest.Bandwidth()))
 		if err != nil {
 			return nil, err
 		}

@@ -20,7 +20,8 @@ func init() {
 // runE8 runs the LOCAL protocol across topologies and radii, reporting MIS
 // sizes, per-virtual-node sample counts (≥ r/2 guaranteed), G-round costs,
 // and verdicts on uniform vs near-point-mass inputs.
-func runE8(mode Mode, seed uint64) (*Table, error) {
+func runE8(ctx *RunContext) (*Table, error) {
+	mode, seed := ctx.Mode, ctx.Seed
 	k := 400
 	reps := 3
 	if mode == Full {

@@ -18,7 +18,8 @@ func init() {
 // runE9 measures the SMP Equality protocol: acceptance on equal inputs
 // (always 1), rejection rate on single-bit-different inputs vs the τδ
 // guarantee, and message cost vs the paper's √(24τδn) chunk formula.
-func runE9(mode Mode, seed uint64) (*Table, error) {
+func runE9(ctx *RunContext) (*Table, error) {
+	mode, seed := ctx.Mode, ctx.Seed
 	trials := 20000
 	if mode == Full {
 		trials = 120000

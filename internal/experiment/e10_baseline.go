@@ -18,7 +18,8 @@ func init() {
 // runE10 compares the classical centralized tester with the paper's
 // distributed threshold tester: per-node samples shrink by ~√k while the
 // network-wide total pays a constant-factor premium.
-func runE10(mode Mode, seed uint64) (*Table, error) {
+func runE10(ctx *RunContext) (*Table, error) {
+	mode, seed := ctx.Mode, ctx.Seed
 	trials := 60
 	if mode == Full {
 		trials = 300

@@ -18,7 +18,8 @@ func init() {
 // runE11 tests identity to a fixed Zipf target via the filter: samples
 // from the target become ~uniform, samples from far distributions stay
 // far, and the centralized tester on filtered samples decides correctly.
-func runE11(mode Mode, seed uint64) (*Table, error) {
+func runE11(ctx *RunContext) (*Table, error) {
+	mode, seed := ctx.Mode, ctx.Seed
 	trials := 60
 	if mode == Full {
 		trials = 300

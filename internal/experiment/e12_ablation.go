@@ -19,7 +19,8 @@ func init() {
 // count is its equivalent; the plug-in TV estimator is blind until
 // s = Ω(n) — the reason collision-based testing is the right primitive to
 // distribute.
-func runE12(mode Mode, seed uint64) (*Table, error) {
+func runE12(ctx *RunContext) (*Table, error) {
+	mode, seed := ctx.Mode, ctx.Seed
 	trials := 120
 	if mode == Full {
 		trials = 600

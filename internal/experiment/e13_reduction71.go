@@ -19,7 +19,8 @@ func init() {
 // exactly uniform referee stream (accepted w.p. ≥ 1−δ), unequal inputs a
 // 1/6-far stream (rejected noticeably more often) — the mechanism behind
 // the paper's lower-bound chain Thm 7.2 → Cor 7.4 → Thm 1.3.
-func runE13(mode Mode, seed uint64) (*Table, error) {
+func runE13(ctx *RunContext) (*Table, error) {
+	mode, seed := ctx.Mode, ctx.Seed
 	trials := 20000
 	if mode == Full {
 		trials = 100000

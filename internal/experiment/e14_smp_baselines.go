@@ -18,7 +18,8 @@ func init() {
 // probing protocol at several repetition counts, and Lemma 7.3's chunk
 // protocol at several (δ, τ). The chunk protocol's structured geometry
 // buys the same detection with asymmetric error at O(√(τδn)) cost.
-func runE14(mode Mode, seed uint64) (*Table, error) {
+func runE14(ctx *RunContext) (*Table, error) {
+	mode, seed := ctx.Mode, ctx.Seed
 	trials := 20000
 	if mode == Full {
 		trials = 100000

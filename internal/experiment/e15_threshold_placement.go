@@ -22,7 +22,8 @@ func init() {
 // uniform-side error for far-side error, the upper edge the reverse; the
 // midpoint balances them. All three must stay within the 1/3 bound in the
 // feasible regime.
-func runE15(mode Mode, seed uint64) (*Table, error) {
+func runE15(ctx *RunContext) (*Table, error) {
+	mode, seed := ctx.Mode, ctx.Seed
 	trials := 120
 	if mode == Full {
 		trials = 600

@@ -10,6 +10,10 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
+
+	"github.com/unifdist/unifdist/internal/obs"
+	"github.com/unifdist/unifdist/internal/simnet"
 )
 
 // Mode selects the experiment scale.
@@ -34,18 +38,19 @@ func (m Mode) String() string {
 	}
 }
 
-// Table is one experiment's rendered result.
+// Table is one experiment's rendered result. The json tags define the
+// table's shape inside the -json run document.
 type Table struct {
 	// ID is the experiment identifier (e.g. "E3").
-	ID string
+	ID string `json:"id"`
 	// Title describes the reproduced result.
-	Title string
+	Title string `json:"title"`
 	// Columns are the header labels.
-	Columns []string
+	Columns []string `json:"columns"`
 	// Rows hold the formatted cells.
-	Rows [][]string
+	Rows [][]string `json:"rows"`
 	// Notes are free-form lines printed under the table.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // AddRow appends a row of stringified cells.
@@ -171,8 +176,58 @@ func (t *Table) RenderCSV(w io.Writer) error {
 	return nil
 }
 
+// RunContext carries one experiment invocation's parameters and telemetry
+// sinks. Obs may be nil (telemetry disabled); the helpers below are
+// nil-safe so experiment code never branches on it.
+type RunContext struct {
+	// Mode is the experiment scale, Seed the root random seed.
+	Mode Mode
+	Seed uint64
+	// Obs receives the run's metrics and journal events when attached.
+	Obs *obs.Recorder
+}
+
+// NewRunContext builds a context with telemetry disabled.
+func NewRunContext(mode Mode, seed uint64) *RunContext {
+	return &RunContext{Mode: mode, Seed: seed}
+}
+
+// Registry returns the run's metrics registry (nil when disabled).
+func (c *RunContext) Registry() *obs.Registry {
+	if c == nil {
+		return nil
+	}
+	return c.Obs.Reg()
+}
+
+// Log writes one event to the run's journal (no-op when disabled).
+func (c *RunContext) Log(event any) {
+	if c != nil {
+		c.Obs.Log(event)
+	}
+}
+
+// SimTracer returns a simnet tracer that feeds the run's registry and
+// journal, labeled with the experiment ID; budget is the CONGEST
+// bytes-per-message cap for utilization reporting. Returns nil when
+// telemetry is disabled, so callers can assign it to simnet configs (or
+// pass it to the congest drivers' Traced variants) unconditionally.
+func (c *RunContext) SimTracer(id string, budget int) simnet.Tracer {
+	if c == nil || !c.Obs.Enabled() {
+		return nil
+	}
+	var tracers []simnet.Tracer
+	if reg := c.Obs.Reg(); reg != nil {
+		tracers = append(tracers, simnet.NewMetricsTracer(reg, budget))
+	}
+	if c.Obs.Journal != nil {
+		tracers = append(tracers, simnet.NewJSONLTracer(c.Obs.Journal, id, budget))
+	}
+	return simnet.MultiTracer(tracers...)
+}
+
 // Runner executes one experiment.
-type Runner func(mode Mode, seed uint64) (*Table, error)
+type Runner func(ctx *RunContext) (*Table, error)
 
 // Experiment couples an identifier with its runner.
 type Experiment struct {
@@ -181,6 +236,66 @@ type Experiment struct {
 	ID          string
 	Description string
 	Run         Runner
+}
+
+// RunResult couples a rendered table with the run's measured telemetry.
+type RunResult struct {
+	Table *Table
+	// Duration is the experiment's wall time.
+	Duration time.Duration
+	// Metrics is the registry delta attributable to this experiment (empty
+	// when telemetry is disabled).
+	Metrics obs.Snapshot
+}
+
+// StartEvent opens an experiment in the JSONL journal.
+type StartEvent struct {
+	Kind string `json:"kind"` // "experiment_start"
+	ID   string `json:"id"`
+	Mode string `json:"mode"`
+	Seed uint64 `json:"seed"`
+}
+
+// EndEvent closes an experiment in the JSONL journal.
+type EndEvent struct {
+	Kind       string  `json:"kind"` // "experiment_end"
+	ID         string  `json:"id"`
+	DurationMS float64 `json:"duration_ms"`
+	Rows       int     `json:"rows"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// Execute runs the experiment under ctx, recording its duration and
+// journal start/end events, and attributing the metric delta over the run
+// to the result. When a registry is attached the delta is also appended to
+// the table's notes, so rendered tables carry their own telemetry.
+func (e Experiment) Execute(ctx *RunContext) (*RunResult, error) {
+	if ctx == nil {
+		ctx = NewRunContext(Quick, 1)
+	}
+	reg := ctx.Registry()
+	before := reg.Snapshot()
+	ctx.Log(StartEvent{Kind: "experiment_start", ID: e.ID, Mode: ctx.Mode.String(), Seed: ctx.Seed})
+	start := time.Now()
+	tbl, err := e.Run(ctx)
+	elapsed := time.Since(start)
+	reg.Counter("experiment.runs").Inc()
+	reg.Histogram("experiment.duration_ns", obs.LatencyBuckets()).Observe(elapsed.Nanoseconds())
+	end := EndEvent{Kind: "experiment_end", ID: e.ID, DurationMS: float64(elapsed.Microseconds()) / 1e3}
+	if err != nil {
+		end.Error = err.Error()
+		ctx.Log(end)
+		return nil, err
+	}
+	end.Rows = len(tbl.Rows)
+	ctx.Log(end)
+	delta := reg.Snapshot().Diff(before)
+	if reg != nil && !delta.Empty() {
+		for _, line := range delta.Lines() {
+			tbl.AddNote("telemetry: %s", line)
+		}
+	}
+	return &RunResult{Table: tbl, Duration: elapsed, Metrics: delta}, nil
 }
 
 // registry holds all experiments, populated by the e*.go files.

@@ -2,8 +2,11 @@ package experiment
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"github.com/unifdist/unifdist/internal/obs"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -105,7 +108,7 @@ func TestCheapExperimentsRun(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s missing", id)
 		}
-		tbl, err := e.Run(Quick, 1)
+		tbl, err := e.Run(NewRunContext(Quick, 1))
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -116,6 +119,108 @@ func TestCheapExperimentsRun(t *testing.T) {
 		if err := tbl.Render(&buf); err != nil {
 			t.Fatalf("%s render: %v", id, err)
 		}
+	}
+}
+
+// TestExecuteRecordsTelemetry runs a CONGEST experiment through Execute
+// with full telemetry attached and checks the duration, metric delta,
+// journal events, and per-round simnet events.
+func TestExecuteRecordsTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e, ok := Lookup("E6")
+	if !ok {
+		t.Fatal("E6 missing")
+	}
+	var buf bytes.Buffer
+	ctx := &RunContext{
+		Mode: Quick,
+		Seed: 1,
+		Obs: &obs.Recorder{
+			Registry: obs.NewRegistry(),
+			Journal:  obs.NewJournal(&buf),
+		},
+	}
+	res, err := e.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= 0 {
+		t.Errorf("duration = %v", res.Duration)
+	}
+	if res.Metrics.Counters["experiment.runs"] != 1 {
+		t.Errorf("experiment.runs delta = %v", res.Metrics.Counters)
+	}
+	if res.Metrics.Counters["simnet.messages"] == 0 {
+		t.Error("no simnet messages recorded for a CONGEST experiment")
+	}
+	// The metric delta must be visible on the rendered table.
+	foundNote := false
+	for _, note := range res.Table.Notes {
+		if strings.Contains(note, "telemetry: simnet.messages") {
+			foundNote = true
+		}
+	}
+	if !foundNote {
+		t.Errorf("no telemetry note on table, notes: %v", res.Table.Notes)
+	}
+	// The journal must hold experiment_start/end plus per-round sim events.
+	kinds := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev struct {
+			Kind string `json:"kind"`
+			ID   string `json:"id"`
+			Run  string `json:"run"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad journal line %q: %v", line, err)
+		}
+		kinds[ev.Kind]++
+		if ev.Kind == "sim_round" && ev.Run != "E6" {
+			t.Errorf("sim_round labeled %q", ev.Run)
+		}
+	}
+	if kinds["experiment_start"] != 1 || kinds["experiment_end"] != 1 {
+		t.Errorf("journal kinds = %v", kinds)
+	}
+	if kinds["sim_round"] == 0 || kinds["sim_run_end"] == 0 {
+		t.Errorf("no per-round simnet events in journal: %v", kinds)
+	}
+}
+
+// TestExecuteDisabledTelemetry checks the disabled path leaves tables
+// untouched.
+func TestExecuteDisabledTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e, _ := Lookup("E9")
+	res, err := e.Execute(NewRunContext(Quick, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, note := range res.Table.Notes {
+		if strings.Contains(note, "telemetry:") {
+			t.Errorf("telemetry note with disabled recorder: %s", note)
+		}
+	}
+	if !res.Metrics.Empty() {
+		t.Errorf("metrics with disabled recorder: %+v", res.Metrics)
+	}
+}
+
+func TestRunContextNilSafety(t *testing.T) {
+	var ctx *RunContext
+	if ctx.Registry() != nil {
+		t.Error("nil context returned a registry")
+	}
+	ctx.Log(struct{}{})
+	if tr := ctx.SimTracer("X", 16); tr != nil {
+		t.Error("nil context returned a tracer")
+	}
+	if tr := NewRunContext(Quick, 1).SimTracer("X", 16); tr != nil {
+		t.Error("disabled context returned a tracer")
 	}
 }
 

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Add(5)
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(1.5)
+	r.Histogram("c", BytesBuckets()).Observe(7)
+	if v := r.Counter("a").Value(); v != 0 {
+		t.Errorf("nil counter value = %d", v)
+	}
+	if v := r.Gauge("b").Value(); v != 0 {
+		t.Errorf("nil gauge value = %g", v)
+	}
+	if s := r.Snapshot(); !s.Empty() {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs").Inc()
+	r.Counter("runs").Add(4)
+	r.Gauge("util").Set(0.75)
+	if v := r.Counter("runs").Value(); v != 5 {
+		t.Errorf("counter = %d, want 5", v)
+	}
+	if v := r.Gauge("util").Value(); v != 0.75 {
+		t.Errorf("gauge = %g, want 0.75", v)
+	}
+	// Same name must return the same metric.
+	if r.Counter("runs") != r.Counter("runs") {
+		t.Error("Counter not idempotent")
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []int64{10, 100, 1000})
+	// One observation per region: below first bound, exactly on each bound,
+	// between bounds, and past the last bound (overflow).
+	for _, v := range []int64{-5, 10, 11, 100, 101, 1000, 1001} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["h"]
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	got := map[int64]int64{}
+	var overflow int64
+	for _, b := range s.Buckets {
+		if b.Overflow {
+			overflow = b.Count
+			continue
+		}
+		got[b.UpperBound] = b.Count
+	}
+	// v ≤ bound lands in the bucket: {-5,10}→10, {11,100}→100, {101,1000}→1000, {1001}→overflow.
+	if got[10] != 2 || got[100] != 2 || got[1000] != 2 || overflow != 1 {
+		t.Errorf("buckets = %v overflow = %d, want 10:2 100:2 1000:2 overflow:1", got, overflow)
+	}
+	if s.Min != -5 || s.Max != 1001 {
+		t.Errorf("min/max = %d/%d, want -5/1001", s.Min, s.Max)
+	}
+	if s.Sum != -5+10+11+100+101+1000+1001 {
+		t.Errorf("sum = %d", s.Sum)
+	}
+	if want := float64(s.Sum) / 7; s.Mean() != want {
+		t.Errorf("mean = %g, want %g", s.Mean(), want)
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []int64{1000, 10, 100})
+	h.Observe(50)
+	s := r.Snapshot().Histograms["h"]
+	if len(s.Buckets) != 1 || s.Buckets[0].UpperBound != 100 {
+		t.Errorf("observation of 50 landed in %+v, want bucket le=100", s.Buckets)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 1000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				r.Counter("n").Inc()
+				r.Histogram("lat", LatencyBuckets()).Observe(int64(id*perG + j))
+				r.Gauge("last").Set(float64(j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if v := r.Counter("n").Value(); v != goroutines*perG {
+		t.Errorf("counter = %d, want %d", v, goroutines*perG)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", s.Count, goroutines*perG)
+	}
+	var inBuckets int64
+	for _, b := range s.Buckets {
+		inBuckets += b.Count
+	}
+	if inBuckets != s.Count {
+		t.Errorf("bucket counts sum to %d, want %d", inBuckets, s.Count)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Histogram("h", []int64{10}).Observe(5)
+	before := r.Snapshot()
+	r.Counter("a").Add(2)
+	r.Counter("b").Inc()
+	r.Gauge("g").Set(9)
+	r.Histogram("h", nil).Observe(20)
+	d := r.Snapshot().Diff(before)
+	if d.Counters["a"] != 2 || d.Counters["b"] != 1 {
+		t.Errorf("counter diff = %v", d.Counters)
+	}
+	if d.Gauges["g"] != 9 {
+		t.Errorf("gauge diff = %v", d.Gauges)
+	}
+	h := d.Histograms["h"]
+	if h.Count != 1 || h.Sum != 20 {
+		t.Errorf("histogram diff = %+v, want count 1 sum 20", h)
+	}
+	// Unchanged metrics are dropped.
+	r2 := NewRegistry()
+	r2.Counter("same").Add(7)
+	s := r2.Snapshot()
+	if d := s.Diff(s); len(d.Counters) != 0 || len(d.Histograms) != 0 {
+		t.Errorf("self-diff not empty: %+v", d)
+	}
+}
+
+func TestSnapshotLines(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.count").Add(4)
+	r.Counter("a.count").Add(1)
+	lines := r.Snapshot().Lines()
+	if len(lines) != 2 || lines[0] != "a.count = 1" || lines[1] != "z.count = 4" {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+func TestBucketScales(t *testing.T) {
+	lat := LatencyBuckets()
+	bytes := BytesBuckets()
+	if len(lat) == 0 || len(bytes) == 0 {
+		t.Fatal("empty bucket scales")
+	}
+	for i := 1; i < len(lat); i++ {
+		if lat[i] <= lat[i-1] {
+			t.Errorf("latency buckets not increasing at %d", i)
+		}
+	}
+	if bytes[0] != 16 || bytes[len(bytes)-1] != 16<<20 {
+		t.Errorf("bytes buckets span [%d, %d]", bytes[0], bytes[len(bytes)-1])
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", []int64{10})
+	s := r.Snapshot().Histograms["h"]
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || len(s.Buckets) != 0 {
+		t.Errorf("empty histogram snapshot = %+v", s)
+	}
+	if math.IsNaN(s.Mean()) || s.Mean() != 0 {
+		t.Errorf("empty mean = %g", s.Mean())
+	}
+}

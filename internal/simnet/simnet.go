@@ -217,6 +217,9 @@ func Run(g *graph.Graph, nodes []Node, cfg Config) (Stats, error) {
 	if remaining > 0 {
 		return stats, fmt.Errorf("%w: %d nodes still active after %d rounds", ErrMaxRounds, remaining, stats.Rounds)
 	}
+	if o, ok := cfg.Tracer.(RunEndObserver); ok {
+		o.OnRunEnd(stats)
+	}
 	return stats, nil
 }
 

@@ -3,6 +3,8 @@ package simnet
 import (
 	"fmt"
 	"io"
+
+	"github.com/unifdist/unifdist/internal/obs"
 )
 
 // Tracer observes a simulation. Implementations must be fast; OnMessage is
@@ -17,6 +19,13 @@ type Tracer interface {
 	OnHalt(round, node int)
 }
 
+// RunEndObserver is an optional Tracer extension: Run invokes OnRunEnd with
+// the final statistics after every node has halted, letting tracers flush
+// buffered state (the last round's JSONL event, per-node histograms).
+type RunEndObserver interface {
+	OnRunEnd(stats Stats)
+}
+
 // RoundSummary aggregates one round's traffic.
 type RoundSummary struct {
 	// Round is the 1-based round number.
@@ -28,18 +37,28 @@ type RoundSummary struct {
 	Bytes    int
 	// Halted is the number of nodes that halted during the round.
 	Halted int
+	// Implicit marks a summary synthesized by an OnMessage/OnHalt for a
+	// round that never announced itself via OnRoundStart (out-of-order or
+	// partial traces); its Active count is unknown and reported as 0.
+	Implicit bool
 }
 
-// SummaryTracer collects per-round summaries.
+// SummaryTracer collects per-round summaries. Events for a round that was
+// never announced via OnRoundStart are attributed to an explicit Implicit
+// summary for that round rather than silently miscounted, and events
+// arriving after a later round has started still update their own round.
 type SummaryTracer struct {
-	rounds []RoundSummary
+	rounds  []RoundSummary
+	byRound map[int]int // round number → index into rounds
 }
 
 var _ Tracer = (*SummaryTracer)(nil)
 
 // OnRoundStart implements Tracer.
 func (s *SummaryTracer) OnRoundStart(round, active int) {
-	s.rounds = append(s.rounds, RoundSummary{Round: round, Active: active})
+	cur := s.current(round)
+	cur.Active = active
+	cur.Implicit = false
 }
 
 // OnMessage implements Tracer.
@@ -54,14 +73,21 @@ func (s *SummaryTracer) OnHalt(round, _ int) {
 	s.current(round).Halted++
 }
 
+// current returns the summary for round, creating an Implicit one if the
+// round was never started.
 func (s *SummaryTracer) current(round int) *RoundSummary {
-	if len(s.rounds) == 0 || s.rounds[len(s.rounds)-1].Round != round {
-		s.rounds = append(s.rounds, RoundSummary{Round: round})
+	if s.byRound == nil {
+		s.byRound = map[int]int{}
 	}
+	if i, ok := s.byRound[round]; ok {
+		return &s.rounds[i]
+	}
+	s.byRound[round] = len(s.rounds)
+	s.rounds = append(s.rounds, RoundSummary{Round: round, Implicit: true})
 	return &s.rounds[len(s.rounds)-1]
 }
 
-// Rounds returns the collected summaries.
+// Rounds returns the collected summaries in first-seen order.
 func (s *SummaryTracer) Rounds() []RoundSummary {
 	out := make([]RoundSummary, len(s.rounds))
 	copy(out, s.rounds)
@@ -83,4 +109,235 @@ func (s *SummaryTracer) Dump(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// multiTracer fans events out to several tracers.
+type multiTracer struct {
+	tracers []Tracer
+}
+
+// MultiTracer combines tracers into one; nil entries are dropped. It
+// returns nil when no tracer remains, so the result can be assigned to
+// Config.Tracer directly.
+func MultiTracer(tracers ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &multiTracer{tracers: live}
+}
+
+func (m *multiTracer) OnRoundStart(round, active int) {
+	for _, t := range m.tracers {
+		t.OnRoundStart(round, active)
+	}
+}
+
+func (m *multiTracer) OnMessage(round, from, to int, payload []byte) {
+	for _, t := range m.tracers {
+		t.OnMessage(round, from, to, payload)
+	}
+}
+
+func (m *multiTracer) OnHalt(round, node int) {
+	for _, t := range m.tracers {
+		t.OnHalt(round, node)
+	}
+}
+
+func (m *multiTracer) OnRunEnd(stats Stats) {
+	for _, t := range m.tracers {
+		if o, ok := t.(RunEndObserver); ok {
+			o.OnRunEnd(stats)
+		}
+	}
+}
+
+// MetricsTracer feeds a simulation's traffic into an obs.Registry under the
+// "simnet." metric namespace:
+//
+//	simnet.rounds            counter: rounds executed
+//	simnet.messages          counter: messages delivered
+//	simnet.bytes             counter: payload bytes delivered
+//	simnet.halts             counter: node halts
+//	simnet.msg_bytes         histogram: per-message payload size
+//	simnet.node_msgs         histogram: per-node sent-message counts (at run end)
+//	simnet.bandwidth_util    gauge: mean bytes per message / CONGEST budget (at run end)
+//	simnet.last_rounds       gauge: rounds of the most recent run
+//
+// It is cheap enough to stay attached across EstimateError-style trial
+// loops; a nil registry makes every update a no-op.
+type MetricsTracer struct {
+	rounds   *obs.Counter
+	messages *obs.Counter
+	bytes    *obs.Counter
+	halts    *obs.Counter
+	msgBytes *obs.Histogram
+	nodeMsgs *obs.Histogram
+	util     *obs.Gauge
+	lastR    *obs.Gauge
+	budget   int
+	perNode  map[int]int64
+}
+
+var _ Tracer = (*MetricsTracer)(nil)
+var _ RunEndObserver = (*MetricsTracer)(nil)
+
+// NewMetricsTracer builds a tracer recording into reg. budget is the
+// CONGEST bytes-per-message cap used for the bandwidth-utilization gauge
+// (0 = unlimited, utilization not reported).
+func NewMetricsTracer(reg *obs.Registry, budget int) *MetricsTracer {
+	return &MetricsTracer{
+		rounds:   reg.Counter("simnet.rounds"),
+		messages: reg.Counter("simnet.messages"),
+		bytes:    reg.Counter("simnet.bytes"),
+		halts:    reg.Counter("simnet.halts"),
+		msgBytes: reg.Histogram("simnet.msg_bytes", obs.BytesBuckets()),
+		nodeMsgs: reg.Histogram("simnet.node_msgs", obs.BytesBuckets()),
+		util:     reg.Gauge("simnet.bandwidth_util"),
+		lastR:    reg.Gauge("simnet.last_rounds"),
+		budget:   budget,
+		perNode:  map[int]int64{},
+	}
+}
+
+// OnRoundStart implements Tracer.
+func (m *MetricsTracer) OnRoundStart(_, _ int) {
+	m.rounds.Inc()
+}
+
+// OnMessage implements Tracer.
+func (m *MetricsTracer) OnMessage(_, from, _ int, payload []byte) {
+	m.messages.Inc()
+	m.bytes.Add(int64(len(payload)))
+	m.msgBytes.Observe(int64(len(payload)))
+	m.perNode[from]++
+}
+
+// OnHalt implements Tracer.
+func (m *MetricsTracer) OnHalt(_, _ int) {
+	m.halts.Inc()
+}
+
+// OnRunEnd implements RunEndObserver: flushes per-node message counts into
+// the simnet.node_msgs histogram and reports bandwidth utilization.
+func (m *MetricsTracer) OnRunEnd(stats Stats) {
+	for _, n := range m.perNode {
+		m.nodeMsgs.Observe(n)
+	}
+	m.perNode = map[int]int64{}
+	m.lastR.Set(float64(stats.Rounds))
+	if m.budget > 0 && stats.Messages > 0 {
+		m.util.Set(float64(stats.Bytes) / float64(stats.Messages) / float64(m.budget))
+	}
+}
+
+// SimRoundEvent is one round's traffic in the JSONL journal.
+type SimRoundEvent struct {
+	Kind     string  `json:"kind"` // "sim_round"
+	Run      string  `json:"run,omitempty"`
+	Round    int     `json:"round"`
+	Active   int     `json:"active"`
+	Messages int     `json:"msgs"`
+	Bytes    int     `json:"bytes"`
+	Halts    int     `json:"halts"`
+	MaxMsgB  int     `json:"max_msg_bytes,omitempty"`
+	Util     float64 `json:"bandwidth_util,omitempty"`
+}
+
+// SimRunEndEvent closes a simulation in the JSONL journal.
+type SimRunEndEvent struct {
+	Kind     string `json:"kind"` // "sim_run_end"
+	Run      string `json:"run,omitempty"`
+	Rounds   int    `json:"rounds"`
+	Messages int    `json:"msgs"`
+	Bytes    int64  `json:"bytes"`
+	MaxMsgB  int    `json:"max_msg_bytes"`
+}
+
+// JSONLTracer streams per-round simulation events into an obs.Journal.
+// Rounds with no traffic and no halts are elided, keeping journals compact
+// on deep topologies. The final round is flushed by OnRunEnd, which
+// simnet.Run invokes automatically.
+type JSONLTracer struct {
+	journal *obs.Journal
+	run     string
+	budget  int
+	cur     SimRoundEvent
+	started bool
+}
+
+var _ Tracer = (*JSONLTracer)(nil)
+var _ RunEndObserver = (*JSONLTracer)(nil)
+
+// NewJSONLTracer builds a tracer writing to journal. run labels the
+// simulation (experiment ID or tool name); budget is the CONGEST
+// bytes-per-message cap for per-round utilization (0 = unlimited).
+func NewJSONLTracer(journal *obs.Journal, run string, budget int) *JSONLTracer {
+	return &JSONLTracer{journal: journal, run: run, budget: budget}
+}
+
+// OnRoundStart implements Tracer.
+func (t *JSONLTracer) OnRoundStart(round, active int) {
+	t.flush()
+	t.cur = SimRoundEvent{Kind: "sim_round", Run: t.run, Round: round, Active: active}
+	t.started = true
+}
+
+// OnMessage implements Tracer.
+func (t *JSONLTracer) OnMessage(round, _, _ int, payload []byte) {
+	t.ensure(round)
+	t.cur.Messages++
+	t.cur.Bytes += len(payload)
+	if len(payload) > t.cur.MaxMsgB {
+		t.cur.MaxMsgB = len(payload)
+	}
+}
+
+// OnHalt implements Tracer.
+func (t *JSONLTracer) OnHalt(round, _ int) {
+	t.ensure(round)
+	t.cur.Halts++
+}
+
+// ensure guards against events for rounds that never announced themselves.
+func (t *JSONLTracer) ensure(round int) {
+	if !t.started || t.cur.Round != round {
+		t.flush()
+		t.cur = SimRoundEvent{Kind: "sim_round", Run: t.run, Round: round}
+		t.started = true
+	}
+}
+
+func (t *JSONLTracer) flush() {
+	if !t.started || (t.cur.Messages == 0 && t.cur.Halts == 0) {
+		return
+	}
+	if t.budget > 0 && t.cur.Messages > 0 {
+		t.cur.Util = float64(t.cur.Bytes) / float64(t.cur.Messages) / float64(t.budget)
+	}
+	t.journal.Write(t.cur)
+	t.started = false
+}
+
+// OnRunEnd implements RunEndObserver: flushes the final round and writes
+// the run-end summary event.
+func (t *JSONLTracer) OnRunEnd(stats Stats) {
+	t.flush()
+	t.journal.Write(SimRunEndEvent{
+		Kind:     "sim_run_end",
+		Run:      t.run,
+		Rounds:   stats.Rounds,
+		Messages: stats.Messages,
+		Bytes:    stats.Bytes,
+		MaxMsgB:  stats.MaxMessageBytes,
+	})
 }

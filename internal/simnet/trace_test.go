@@ -2,10 +2,12 @@ package simnet
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
 	"github.com/unifdist/unifdist/internal/graph"
+	"github.com/unifdist/unifdist/internal/obs"
 )
 
 func TestSummaryTracerCollects(t *testing.T) {
@@ -79,5 +81,159 @@ func TestNilTracerIsFine(t *testing.T) {
 	g := graph.NewLine(2)
 	if _, err := Run(g, []Node{silent{}, silent{}}, Config{Seed: 1}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSummaryTracerUnseenRoundIsImplicit(t *testing.T) {
+	tracer := &SummaryTracer{}
+	// OnMessage/OnHalt with no prior OnRoundStart must create an explicit
+	// Implicit summary, not miscount under a bogus row.
+	tracer.OnMessage(3, 0, 1, []byte{1, 2, 3})
+	tracer.OnHalt(3, 0)
+	rounds := tracer.Rounds()
+	if len(rounds) != 1 {
+		t.Fatalf("got %d summaries, want 1", len(rounds))
+	}
+	r := rounds[0]
+	if r.Round != 3 || !r.Implicit || r.Messages != 1 || r.Bytes != 3 || r.Halted != 1 || r.Active != 0 {
+		t.Errorf("implicit summary = %+v", r)
+	}
+	// A late OnRoundStart for the same round upgrades it in place.
+	tracer.OnRoundStart(3, 7)
+	rounds = tracer.Rounds()
+	if len(rounds) != 1 || rounds[0].Implicit || rounds[0].Active != 7 || rounds[0].Messages != 1 {
+		t.Errorf("upgraded summary = %+v", rounds[0])
+	}
+}
+
+func TestSummaryTracerOutOfOrderEvents(t *testing.T) {
+	tracer := &SummaryTracer{}
+	tracer.OnRoundStart(1, 4)
+	tracer.OnRoundStart(2, 4)
+	// Event for round 1 arriving after round 2 started must update round 1,
+	// not append a duplicate row.
+	tracer.OnMessage(1, 0, 1, []byte{9})
+	tracer.OnHalt(1, 0)
+	rounds := tracer.Rounds()
+	if len(rounds) != 2 {
+		t.Fatalf("got %d summaries, want 2", len(rounds))
+	}
+	if rounds[0].Round != 1 || rounds[0].Messages != 1 || rounds[0].Halted != 1 || rounds[0].Active != 4 {
+		t.Errorf("round 1 summary = %+v", rounds[0])
+	}
+	if rounds[1].Messages != 0 {
+		t.Errorf("round 2 absorbed round 1 traffic: %+v", rounds[1])
+	}
+}
+
+func TestMetricsTracerRecords(t *testing.T) {
+	g := graph.NewLine(2)
+	reg := obs.NewRegistry()
+	tracer := NewMetricsTracer(reg, 16)
+	stats, err := Run(g, []Node{&pingPong{starter: true}, &pingPong{}}, Config{
+		Seed: 1, Tracer: tracer, MaxBytesPerMessage: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["simnet.messages"]; got != int64(stats.Messages) {
+		t.Errorf("simnet.messages = %d, stats %d", got, stats.Messages)
+	}
+	if got := s.Counters["simnet.bytes"]; got != stats.Bytes {
+		t.Errorf("simnet.bytes = %d, stats %d", got, stats.Bytes)
+	}
+	if got := s.Counters["simnet.rounds"]; got != int64(stats.Rounds) {
+		t.Errorf("simnet.rounds = %d, stats %d", got, stats.Rounds)
+	}
+	if got := s.Counters["simnet.halts"]; got != 2 {
+		t.Errorf("simnet.halts = %d, want 2", got)
+	}
+	h := s.Histograms["simnet.msg_bytes"]
+	if h.Count != int64(stats.Messages) {
+		t.Errorf("msg_bytes histogram count = %d, want %d", h.Count, stats.Messages)
+	}
+	if nm := s.Histograms["simnet.node_msgs"]; nm.Count == 0 {
+		t.Error("node_msgs histogram empty after OnRunEnd")
+	}
+	if util := s.Gauges["simnet.bandwidth_util"]; util <= 0 || util > 1 {
+		t.Errorf("bandwidth_util = %g, want (0, 1]", util)
+	}
+}
+
+func TestJSONLTracerEvents(t *testing.T) {
+	g := graph.NewRing(6)
+	nodes := make([]Node, 6)
+	for i := range nodes {
+		nodes[i] = &floodMax{limit: 4}
+	}
+	var buf bytes.Buffer
+	journal := obs.NewJournal(&buf)
+	stats, err := Run(g, nodes, Config{Seed: 2, Tracer: NewJSONLTracer(journal, "test", 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("journal too short: %q", buf.String())
+	}
+	var msgs int
+	var sawEnd bool
+	for _, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("unparseable journal line %q: %v", line, err)
+		}
+		switch ev["kind"] {
+		case "sim_round":
+			if ev["run"] != "test" {
+				t.Errorf("round event run = %v", ev["run"])
+			}
+			msgs += int(ev["msgs"].(float64))
+		case "sim_run_end":
+			sawEnd = true
+			if int(ev["rounds"].(float64)) != stats.Rounds {
+				t.Errorf("run_end rounds = %v, want %d", ev["rounds"], stats.Rounds)
+			}
+		default:
+			t.Errorf("unexpected event kind %v", ev["kind"])
+		}
+	}
+	if msgs != stats.Messages {
+		t.Errorf("journal rounds account for %d messages, stats %d", msgs, stats.Messages)
+	}
+	if !sawEnd {
+		t.Error("no sim_run_end event")
+	}
+}
+
+func TestMultiTracer(t *testing.T) {
+	summary := &SummaryTracer{}
+	reg := obs.NewRegistry()
+	metrics := NewMetricsTracer(reg, 0)
+	combined := MultiTracer(nil, summary, metrics)
+	if combined == nil {
+		t.Fatal("MultiTracer dropped live tracers")
+	}
+	g := graph.NewLine(2)
+	stats, err := Run(g, []Node{&pingPong{starter: true}, &pingPong{}}, Config{Seed: 3, Tracer: combined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range summary.Rounds() {
+		total += r.Messages
+	}
+	if total != stats.Messages {
+		t.Errorf("summary saw %d messages, stats %d", total, stats.Messages)
+	}
+	if got := reg.Counter("simnet.messages").Value(); got != int64(stats.Messages) {
+		t.Errorf("metrics saw %d messages, stats %d", got, stats.Messages)
+	}
+	if MultiTracer(nil, nil) != nil {
+		t.Error("MultiTracer of nils not nil")
+	}
+	if MultiTracer(summary) != Tracer(summary) {
+		t.Error("single-tracer MultiTracer not pass-through")
 	}
 }

@@ -3,8 +3,10 @@ package zeroround
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/obs"
 	"github.com/unifdist/unifdist/internal/rng"
 )
 
@@ -12,6 +14,11 @@ import (
 // worker goroutines, each with an independent generator split from r. The
 // result is deterministic in r regardless of scheduling: trial i always
 // uses the i-th split.
+//
+// When nw.Obs is attached, each worker records per-trial latencies into the
+// shared zeroround.trial_ns histogram and the trial/wrong counters; the
+// registry's atomic metrics make this safe and cheap enough to leave on
+// across the pool.
 func (nw *Network) EstimateErrorParallel(d dist.Distribution, wantAccept bool, trials int, r *rng.RNG) float64 {
 	if trials <= 0 {
 		return 0
@@ -19,6 +26,10 @@ func (nw *Network) EstimateErrorParallel(d dist.Distribution, wantAccept bool, t
 	workers := runtime.GOMAXPROCS(0)
 	if workers > trials {
 		workers = trials
+	}
+	var trialNS *obs.Histogram
+	if nw.Obs != nil {
+		trialNS = nw.Obs.Histogram("zeroround.trial_ns", obs.LatencyBuckets())
 	}
 	// Pre-split one generator per trial so the assignment of randomness to
 	// trials does not depend on goroutine interleaving.
@@ -38,6 +49,15 @@ func (nw *Network) EstimateErrorParallel(d dist.Distribution, wantAccept bool, t
 			defer wg.Done()
 			local := 0
 			for i := range next {
+				if trialNS != nil {
+					start := time.Now()
+					got, _ := nw.Run(d, gens[i])
+					trialNS.Observe(time.Since(start).Nanoseconds())
+					if got != wantAccept {
+						local++
+					}
+					continue
+				}
 				if got, _ := nw.Run(d, gens[i]); got != wantAccept {
 					local++
 				}
@@ -52,5 +72,9 @@ func (nw *Network) EstimateErrorParallel(d dist.Distribution, wantAccept bool, t
 	}
 	close(next)
 	wg.Wait()
+	if nw.Obs != nil {
+		nw.Obs.Counter("zeroround.trials").Add(int64(trials))
+		nw.Obs.Counter("zeroround.wrong").Add(int64(wrong))
+	}
 	return float64(wrong) / float64(trials)
 }

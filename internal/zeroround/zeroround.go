@@ -19,8 +19,10 @@ package zeroround
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/obs"
 	"github.com/unifdist/unifdist/internal/rng"
 	"github.com/unifdist/unifdist/internal/stats"
 	"github.com/unifdist/unifdist/internal/tester"
@@ -62,6 +64,13 @@ func (t ThresholdRule) Name() string { return fmt.Sprintf("threshold(T=%d)", t.T
 type Network struct {
 	nodes []tester.Tester
 	rule  Rule
+
+	// Obs, when non-nil, receives per-trial telemetry from EstimateError
+	// and EstimateErrorParallel: the zeroround.trials counter,
+	// zeroround.wrong counter, and the zeroround.trial_ns latency
+	// histogram. Leave nil to disable (the cost is one pointer check per
+	// estimate call).
+	Obs *obs.Registry
 }
 
 // NewNetwork builds a 0-round network. All nodes may share one tester value
@@ -123,11 +132,25 @@ func (nw *Network) Run(d dist.Distribution, r *rng.RNG) (accept bool, rejects in
 // correct verdict for d.
 func (nw *Network) EstimateError(d dist.Distribution, wantAccept bool, trials int, r *rng.RNG) float64 {
 	wrong := 0
+	if nw.Obs == nil {
+		for i := 0; i < trials; i++ {
+			if got, _ := nw.Run(d, r); got != wantAccept {
+				wrong++
+			}
+		}
+		return float64(wrong) / float64(trials)
+	}
+	trialNS := nw.Obs.Histogram("zeroround.trial_ns", obs.LatencyBuckets())
 	for i := 0; i < trials; i++ {
-		if got, _ := nw.Run(d, r); got != wantAccept {
+		start := time.Now()
+		got, _ := nw.Run(d, r)
+		trialNS.Observe(time.Since(start).Nanoseconds())
+		if got != wantAccept {
 			wrong++
 		}
 	}
+	nw.Obs.Counter("zeroround.trials").Add(int64(trials))
+	nw.Obs.Counter("zeroround.wrong").Add(int64(wrong))
 	return float64(wrong) / float64(trials)
 }
 
