@@ -134,3 +134,87 @@ func BenchmarkEqualityProtocol(b *testing.B) {
 		}
 	}
 }
+
+// PR-2 hot-path kernels: batch sampling, scratch collision statistics, and
+// the allocation-free network trial. BENCH_PR2.json records these (see
+// cmd/benchjson); the *Scalar/Map counterparts live next to the kernels in
+// internal/dist for before/after comparison.
+
+func benchSampleInto(b *testing.B, d unifdist.Distribution) {
+	buf := make([]int, 4096)
+	r := unifdist.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		unifdist.SampleInto(d, buf, r)
+	}
+}
+
+func BenchmarkSampleIntoUniform(b *testing.B) {
+	benchSampleInto(b, unifdist.NewUniform(1<<20))
+}
+
+func BenchmarkSampleIntoTwoBump(b *testing.B) {
+	benchSampleInto(b, unifdist.NewTwoBump(1<<20, 1, 7))
+}
+
+func BenchmarkSampleIntoHistogram(b *testing.B) {
+	benchSampleInto(b, unifdist.NewZipf(1<<20, 1.1))
+}
+
+func BenchmarkHasCollisionScratch(b *testing.B) {
+	const n = 1 << 16
+	samples := make([]int, 256)
+	unifdist.SampleInto(unifdist.NewUniform(n), samples, unifdist.NewRNG(1))
+	sc := unifdist.NewCollisionScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sc.HasCollision(n, samples)
+	}
+}
+
+func BenchmarkNetworkRun(b *testing.B) {
+	const (
+		n = 1 << 16
+		k = 2000
+	)
+	cfg, err := unifdist.SolveThreshold(n, k, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := unifdist.BuildThreshold(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := unifdist.NewUniform(n)
+	r := unifdist.NewRNG(1)
+	sc := nw.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = nw.RunWith(u, r, sc)
+	}
+}
+
+func BenchmarkEstimateErrorParallel(b *testing.B) {
+	const (
+		n = 1 << 16
+		k = 2000
+	)
+	cfg, err := unifdist.SolveThreshold(n, k, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := unifdist.BuildThreshold(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := unifdist.NewUniform(n)
+	r := unifdist.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nw.EstimateErrorParallel(u, true, 64, r)
+	}
+}

@@ -1,0 +1,143 @@
+// Command benchjson converts `go test -bench` text output into the
+// repository's machine-readable run-document JSON (the same obs.Document
+// envelope emitted by cmd/unifbench -json), so benchmark numbers can be
+// recorded and diffed like experiment tables. CI pipes the benchmark smoke
+// run through it to produce BENCH_PR2.json.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | benchjson [-o bench.json]
+//
+// Lines that are not benchmark results (headers, PASS/ok trailers) are
+// ignored; -benchmem's B/op and allocs/op columns are optional.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/unifdist/unifdist/internal/obs"
+)
+
+// Result is one benchmark line. NsPerOp is wall time per iteration;
+// BytesPerOp/AllocsPerOp are present only when -benchmem was set.
+type Result struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	outFlag := fs.String("o", "", "write the JSON document to this file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	results, err := Parse(stdin)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results on stdin")
+	}
+
+	out := stdout
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	doc := obs.Document{
+		Provenance: obs.CollectProvenance("benchjson", "", 0, fs.Args()),
+		Results:    map[string]any{"benchmarks": results},
+	}
+	return doc.WriteJSON(out)
+}
+
+// Parse extracts benchmark result lines from go test -bench output. The
+// trailing -N GOMAXPROCS suffix is stripped from names; duplicate names
+// (e.g. -count > 1) keep the last occurrence.
+func Parse(r io.Reader) ([]Result, error) {
+	byName := map[string]Result{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		res, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if _, seen := byName[res.Name]; !seen {
+			order = append(order, res.Name)
+		}
+		byName[res.Name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Strings(order)
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		out = append(out, byName[name])
+	}
+	return out, nil
+}
+
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: name, Iterations: iters}
+	havePrimary := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = val
+			havePrimary = true
+		case "B/op":
+			v := val
+			res.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			res.AllocsPerOp = &v
+		}
+	}
+	if !havePrimary {
+		return Result{}, false
+	}
+	return res, true
+}

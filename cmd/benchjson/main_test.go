@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/unifdist/unifdist
+cpu: some CPU
+BenchmarkSampleIntoUniform-8     	  250000	      4521 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHasCollisionScratch-8   	 1200000	       991 ns/op
+BenchmarkNetworkRun              	    2000	    612345 ns/op	      16 B/op	       2 allocs/op
+PASS
+ok  	github.com/unifdist/unifdist	12.3s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	u, ok := byName["BenchmarkSampleIntoUniform"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %+v", results)
+	}
+	if u.NsPerOp != 4521 || u.Iterations != 250000 {
+		t.Errorf("uniform = %+v", u)
+	}
+	if u.AllocsPerOp == nil || *u.AllocsPerOp != 0 {
+		t.Errorf("uniform allocs = %v, want 0", u.AllocsPerOp)
+	}
+	h := byName["BenchmarkHasCollisionScratch"]
+	if h.BytesPerOp != nil || h.AllocsPerOp != nil {
+		t.Errorf("no -benchmem columns yet fields set: %+v", h)
+	}
+	n := byName["BenchmarkNetworkRun"]
+	if n.NsPerOp != 612345 || n.AllocsPerOp == nil || *n.AllocsPerOp != 2 {
+		t.Errorf("network run = %+v", n)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	results, err := Parse(strings.NewReader("hello\nBenchmarkBad abc def\n\nok\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("parsed %d results from garbage", len(results))
+	}
+}
+
+func TestRunEmitsDocument(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Provenance struct {
+			Tool string `json:"tool"`
+		} `json:"provenance"`
+		Results struct {
+			Benchmarks []Result `json:"benchmarks"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if doc.Provenance.Tool != "benchjson" {
+		t.Errorf("tool = %q", doc.Provenance.Tool)
+	}
+	if len(doc.Results.Benchmarks) != 3 {
+		t.Errorf("document holds %d benchmarks, want 3", len(doc.Results.Benchmarks))
+	}
+}
+
+func TestRunEmptyInputFails(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("PASS\n"), &out); err == nil {
+		t.Fatal("empty input did not error")
+	}
+}

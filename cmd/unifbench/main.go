@@ -6,7 +6,7 @@
 // Usage:
 //
 //	unifbench [-mode quick|full] [-run E1,E3,...] [-csv|-markdown|-json]
-//	          [-seed N] [-list] [-journal run.jsonl]
+//	          [-seed N] [-workers N] [-list] [-journal run.jsonl]
 //	          [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -json emits one machine-readable run document (provenance, per-experiment
@@ -53,6 +53,7 @@ func run(args []string, stdout io.Writer) error {
 		mdFlag      = fs.Bool("markdown", false, "emit markdown tables instead of aligned text")
 		jsonFlag    = fs.Bool("json", false, "emit one machine-readable run document (tables + provenance + metrics)")
 		seedFlag    = fs.Uint64("seed", 1, "root random seed")
+		workersFlag = fs.Int("workers", 0, "worker goroutines for sweep rows and trial batches (0 = GOMAXPROCS; tables are identical at any value)")
 		listFlag    = fs.Bool("list", false, "list experiments and exit")
 		journalFlag = fs.String("journal", "", "write per-experiment and per-round events to this JSONL file")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -108,6 +109,7 @@ func run(args []string, stdout io.Writer) error {
 	// Telemetry is attached only when some sink will consume it; the
 	// default table-rendering path stays zero-overhead.
 	prov := obs.CollectProvenance("unifbench", mode.String(), *seedFlag, args)
+	prov.Workers = *workersFlag
 	rec := &obs.Recorder{}
 	if *jsonFlag {
 		rec.Registry = obs.NewRegistry()
@@ -134,7 +136,7 @@ func run(args []string, stdout io.Writer) error {
 	start := time.Now()
 	var results []experimentResult
 	for _, e := range selected {
-		ctx := &experiment.RunContext{Mode: mode, Seed: *seedFlag, Obs: rec}
+		ctx := &experiment.RunContext{Mode: mode, Seed: *seedFlag, Workers: *workersFlag, Obs: rec}
 		res, err := e.Execute(ctx)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)

@@ -32,12 +32,12 @@ type Distribution interface {
 	Name() string
 }
 
-// SampleN draws s i.i.d. samples from d using r.
+// SampleN draws s i.i.d. samples from d using r. It dispatches through
+// SampleInto, so distributions implementing BatchSampler pay no per-sample
+// interface call.
 func SampleN(d Distribution, s int, r *rng.RNG) []int {
 	out := make([]int, s)
-	for i := range out {
-		out[i] = d.Sample(r)
-	}
+	SampleInto(d, out, r)
 	return out
 }
 
@@ -339,31 +339,33 @@ func EmpiricalHistogram(n int, samples []int) []int {
 }
 
 // HasCollision reports whether samples contains two equal elements. This is
-// the single-collision statistic Z of Section 3.1.
+// the single-collision statistic Z of Section 3.1. It sorts a copy; hot
+// loops should use CollisionScratch.HasCollision, which allocates nothing.
 func HasCollision(samples []int) bool {
-	seen := make(map[int]struct{}, len(samples))
-	for _, s := range samples {
-		if _, ok := seen[s]; ok {
+	switch len(samples) {
+	case 0, 1:
+		return false
+	case 2:
+		return samples[0] == samples[1]
+	}
+	cp := sortedCopy(samples)
+	for i := 1; i < len(cp); i++ {
+		if cp[i] == cp[i-1] {
 			return true
 		}
-		seen[s] = struct{}{}
 	}
 	return false
 }
 
 // CountCollisions returns the number of colliding pairs Σ_i C(c_i, 2) over
 // the sample multiset — the statistic of the Paninski-style collision
-// counting baseline.
+// counting baseline. It sorts a copy; hot loops should use
+// CollisionScratch.CountCollisions, which allocates nothing.
 func CountCollisions(samples []int) int {
-	counts := make(map[int]int, len(samples))
-	for _, s := range samples {
-		counts[s]++
+	if len(samples) < 2 {
+		return 0
 	}
-	total := 0
-	for _, c := range counts {
-		total += c * (c - 1) / 2
-	}
-	return total
+	return countSortedCollisions(sortedCopy(samples))
 }
 
 func checkIndex(i, n int) {

@@ -3,8 +3,6 @@ package dist
 import (
 	"fmt"
 	"math"
-
-	"github.com/unifdist/unifdist/internal/rng"
 )
 
 // This file holds the secondary distribution constructors and the
@@ -112,12 +110,4 @@ func Support(d Distribution) int {
 		}
 	}
 	return count
-}
-
-// SampleInto fills buf with i.i.d. samples from d, avoiding the allocation
-// of SampleN in hot loops.
-func SampleInto(d Distribution, buf []int, r *rng.RNG) {
-	for i := range buf {
-		buf[i] = d.Sample(r)
-	}
 }

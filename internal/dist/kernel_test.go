@@ -1,0 +1,84 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/unifdist/unifdist/internal/rng"
+)
+
+// oneByOne is a Distribution wrapper that hides any BatchSampler
+// implementation, forcing the generic per-sample path.
+type oneByOne struct{ Distribution }
+
+// kernelDistributions returns the batch-sampling distributions under test.
+func kernelDistributions(t testing.TB) []Distribution {
+	t.Helper()
+	h, err := NewHistogram([]float64{1, 2, 3, 4, 0.5, 7}, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Distribution{
+		NewUniform(97),
+		NewTwoBump(64, 0.5, 11),
+		h,
+		NewZipf(200, 1.1),
+	}
+}
+
+// TestSampleIntoMatchesScalarStream checks the batch kernels consume the
+// generator exactly as repeated Sample calls do: same seed, same stream.
+func TestSampleIntoMatchesScalarStream(t *testing.T) {
+	for _, d := range kernelDistributions(t) {
+		if _, ok := d.(BatchSampler); !ok {
+			t.Errorf("%s does not implement BatchSampler", d.Name())
+		}
+		const s = 1000
+		batch := make([]int, s)
+		SampleInto(d, batch, rng.New(42))
+		scalar := make([]int, s)
+		SampleInto(oneByOne{d}, scalar, rng.New(42))
+		for i := range batch {
+			if batch[i] != scalar[i] {
+				t.Fatalf("%s: batch[%d]=%d but scalar[%d]=%d", d.Name(), i, batch[i], i, scalar[i])
+			}
+		}
+		if n := SampleN(d, s, rng.New(42)); n[s-1] != batch[s-1] || n[0] != batch[0] {
+			t.Errorf("%s: SampleN diverges from SampleInto", d.Name())
+		}
+	}
+}
+
+// TestSampleIntoGenericFallback covers the non-BatchSampler path.
+func TestSampleIntoGenericFallback(t *testing.T) {
+	d := oneByOne{NewUniform(13)}
+	buf := make([]int, 500)
+	SampleInto(d, buf, rng.New(3))
+	for i, v := range buf {
+		if v < 0 || v >= 13 {
+			t.Fatalf("sample %d out of range: %d", i, v)
+		}
+	}
+}
+
+// TestSampleIntoRanges checks every kernel stays inside its domain.
+func TestSampleIntoRanges(t *testing.T) {
+	for _, d := range kernelDistributions(t) {
+		buf := make([]int, 2000)
+		SampleInto(d, buf, rng.New(7))
+		for i, v := range buf {
+			if v < 0 || v >= d.N() {
+				t.Fatalf("%s: sample %d out of domain: %d", d.Name(), i, v)
+			}
+		}
+	}
+}
+
+func BenchmarkSampleScalarUniform(b *testing.B) {
+	d := NewUniform(1 << 20)
+	buf := make([]int, 1024)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SampleInto(oneByOne{d}, buf, r)
+	}
+}

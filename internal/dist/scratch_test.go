@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/unifdist/unifdist/internal/rng"
+)
+
+// TestScratchMatchesReference cross-checks both scratch strategies against
+// the package-level functions on random multisets, for domains on both
+// sides of the stamp cutoff.
+func TestScratchMatchesReference(t *testing.T) {
+	r := rng.New(9)
+	for _, n := range []int{2, 17, 1 << 10, maxStampDomain, maxStampDomain + 1, 1 << 22} {
+		sc := NewCollisionScratch()
+		for trial := 0; trial < 40; trial++ {
+			s := r.Intn(60) // dense enough for frequent collisions on small n
+			samples := make([]int, s)
+			for i := range samples {
+				samples[i] = r.Intn(n)
+			}
+			if got, want := sc.HasCollision(n, samples), HasCollision(samples); got != want {
+				t.Fatalf("n=%d samples=%v: scratch HasCollision=%v want %v", n, samples, got, want)
+			}
+			if got, want := sc.CountCollisions(n, samples), CountCollisions(samples); got != want {
+				t.Fatalf("n=%d samples=%v: scratch CountCollisions=%d want %d", n, samples, got, want)
+			}
+		}
+	}
+}
+
+// TestScratchReuseAcrossDomains checks one scratch can serve interleaved
+// calls with different domain sizes (as Network.Run does for heterogeneous
+// nodes).
+func TestScratchReuseAcrossDomains(t *testing.T) {
+	sc := NewCollisionScratch()
+	if sc.HasCollision(100, []int{1, 2, 3}) {
+		t.Error("false collision")
+	}
+	if !sc.HasCollision(10, []int{4, 4}) {
+		t.Error("missed collision after domain shrink")
+	}
+	if got := sc.CountCollisions(1000, []int{5, 5, 5}); got != 3 {
+		t.Errorf("count = %d, want 3", got)
+	}
+	if sc.HasCollision(maxStampDomain+1, []int{0, 1, maxStampDomain}) {
+		t.Error("false collision on sort path")
+	}
+	if got := sc.CountCollisions(maxStampDomain+1, []int{7, 7, 9, 9}); got != 2 {
+		t.Errorf("sort-path count = %d, want 2", got)
+	}
+}
+
+// TestScratchEpochWrap forces the epoch counter to wrap and checks stamps
+// from before the wrap cannot produce phantom collisions.
+func TestScratchEpochWrap(t *testing.T) {
+	sc := NewCollisionScratch()
+	sc.HasCollision(8, []int{1, 2, 3}) // stamp 1..3 at epoch 1
+	sc.epoch = ^uint32(0) - 1
+	sc.HasCollision(8, []int{4, 5}) // epoch 2³²−1
+	if sc.HasCollision(8, []int{1, 2, 3, 4}) {
+		t.Fatal("stale stamps survived epoch wrap")
+	}
+	if sc.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", sc.epoch)
+	}
+}
+
+// TestScratchNilFallback checks a nil scratch behaves like the package
+// functions.
+func TestScratchNilFallback(t *testing.T) {
+	var sc *CollisionScratch
+	if !sc.HasCollision(10, []int{3, 3}) {
+		t.Error("nil scratch missed a collision")
+	}
+	if got := sc.CountCollisions(10, []int{3, 3, 3}); got != 3 {
+		t.Errorf("nil scratch count = %d, want 3", got)
+	}
+}
+
+// TestScratchTrivialSizes covers the short-circuit paths.
+func TestScratchTrivialSizes(t *testing.T) {
+	sc := NewCollisionScratch()
+	if sc.HasCollision(5, nil) || sc.HasCollision(5, []int{2}) {
+		t.Error("collision reported for <2 samples")
+	}
+	if sc.CountCollisions(5, []int{1}) != 0 {
+		t.Error("nonzero count for 1 sample")
+	}
+}
+
+func BenchmarkHasCollisionMap(b *testing.B) {
+	// Historical baseline shape: map-based detection allocated per call;
+	// kept as a benchmark reference via the package-level function (now
+	// sort-based — see BenchmarkHasCollisionScratch for the stamp kernel).
+	r := rng.New(1)
+	samples := make([]int, 256)
+	for i := range samples {
+		samples[i] = r.Intn(1 << 16)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HasCollision(samples)
+	}
+}

@@ -45,8 +45,8 @@ func runE2(ctx *RunContext) (*Table, error) {
 			"err|U", "err|far",
 		},
 	}
-	r := rng.New(seed)
-	for _, k := range ks {
+	rows, err := ctx.RunRows(rng.New(seed), len(ks), func(row int, r *rng.RNG) ([]string, error) {
+		k := ks[row]
 		cfg, err := zeroround.SolveAND(n, k, eps, p)
 		if err != nil {
 			return nil, err
@@ -56,16 +56,21 @@ func runE2(ctx *RunContext) (*Table, error) {
 			return nil, err
 		}
 		nw.Obs = ctx.Registry()
-		errU := nw.EstimateError(dist.NewUniform(n), true, trials, r)
-		errFar := nw.EstimateError(dist.NewTwoBump(n, eps, r.Uint64()), false, trials, r)
-		t.AddRow(
+		nw.Workers = ctx.Workers
+		errU := nw.EstimateErrorParallel(dist.NewUniform(n), true, trials, r)
+		errFar := nw.EstimateErrorParallel(dist.NewTwoBump(n, eps, r.Uint64()), false, trials, r)
+		return []string{
 			fmtFloat(float64(k)), fmtFloat(float64(cfg.M)),
 			fmtFloat(float64(cfg.SamplesPerNode)), fmtFloat(float64(solo.S)),
 			fmtFloat(float64(solo.S)/float64(cfg.SamplesPerNode)),
 			fmtFloat(cfg.NodeGap), fmtFloat(cfg.RequiredGap), fmtBool(cfg.Feasible),
 			fmtProb(errU), fmtProb(errFar),
-		)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.AddRows(rows)
 	t.AddNote("paper: s = Θ((C_p/ε²)·√(n/k^{Θ(ε²/C_p)})) per node; error ≤ p in the feasible regime")
 	t.AddNote("the solver spends the full completeness budget, so err|U ≈ p = 1/3 by design (not a failure)")
 	t.AddNote("s solo = Θ(√n/ε²) is one node testing alone; saving = solo/s per node")

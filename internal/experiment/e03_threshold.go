@@ -38,8 +38,8 @@ func runE3(ctx *RunContext) (*Table, error) {
 			"err|U", "err|far",
 		},
 	}
-	r := rng.New(seed)
-	for _, k := range ks {
+	rows, err := ctx.RunRows(rng.New(seed), len(ks), func(row int, r *rng.RNG) ([]string, error) {
+		k := ks[row]
 		cfg, err := zeroround.SolveThreshold(n, k, eps)
 		if err != nil {
 			return nil, err
@@ -49,16 +49,21 @@ func runE3(ctx *RunContext) (*Table, error) {
 			return nil, err
 		}
 		nw.Obs = ctx.Registry()
-		errU := nw.EstimateError(dist.NewUniform(n), true, trials, r)
-		errFar := nw.EstimateError(dist.NewTwoBump(n, eps, r.Uint64()), false, trials, r)
+		nw.Workers = ctx.Workers
+		errU := nw.EstimateErrorParallel(dist.NewUniform(n), true, trials, r)
+		errFar := nw.EstimateErrorParallel(dist.NewTwoBump(n, eps, r.Uint64()), false, trials, r)
 		paperS := math.Sqrt(float64(n)/float64(k)) / (eps * eps)
-		t.AddRow(
+		return []string{
 			fmtFloat(float64(k)), fmtFloat(cfg.Delta),
 			fmtFloat(float64(cfg.SamplesPerNode)), fmtFloat(paperS),
 			fmtFloat(float64(cfg.T)), fmtFloat(cfg.EtaUniform), fmtFloat(cfg.EtaFar),
 			fmtBool(cfg.Feasible), fmtProb(errU), fmtProb(errFar),
-		)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.AddRows(rows)
 	t.AddNote("paper: s = Θ(√(n/k)/ε²) per node and T = Θ(1/ε⁴) (k-independent), error ≤ 1/3")
 	t.AddNote("T sits inside the eq. (5) window (ηU+√(3·ln3·ηU), ηFar−√(2·ln3·ηFar))")
 	t.AddNote("%d trials per error cell", trials)

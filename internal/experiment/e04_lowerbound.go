@@ -45,10 +45,10 @@ func runE4(ctx *RunContext) (*Table, error) {
 			"s/node", "s/√(n/k)", "T", "err|U", "err|far", "total err",
 		},
 	}
-	r := rng.New(seed)
 	ref := math.Sqrt(float64(n) / float64(k))
-	for _, frac := range []float64{1, 0.5, 0.35, 0.25, 0.15} {
-		s := int(math.Round(float64(base.SamplesPerNode) * frac))
+	fracs := []float64{1, 0.5, 0.35, 0.25, 0.15}
+	rows, err := ctx.RunRows(rng.New(seed), len(fracs), func(row int, r *rng.RNG) ([]string, error) {
+		s := int(math.Round(float64(base.SamplesPerNode) * fracs[row]))
 		if s < 2 {
 			s = 2
 		}
@@ -74,15 +74,20 @@ func runE4(ctx *RunContext) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		errU := nw.EstimateError(dist.NewUniform(n), true, trials, r)
-		errFar := nw.EstimateError(dist.NewTwoBump(n, eps, r.Uint64()), false, trials, r)
-		t.AddRow(
+		nw.Workers = ctx.Workers
+		errU := nw.EstimateErrorParallel(dist.NewUniform(n), true, trials, r)
+		errFar := nw.EstimateErrorParallel(dist.NewTwoBump(n, eps, r.Uint64()), false, trials, r)
+		return []string{
 			fmtFloat(float64(node.SampleSize())),
 			fmtFloat(float64(node.SampleSize())/ref),
 			fmtFloat(float64(thr)),
 			fmtProb(errU), fmtProb(errFar), fmtProb((errU+errFar)/2),
-		)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.AddRows(rows)
 	t.AddNote("paper lower bound: any anonymous 0-round tester needs Ω(√(n/k)/log n) samples per node")
 	t.AddNote("√(n/k) = %s for this regime; error should degrade toward 1/2 as s drops below it", fmtFloat(ref))
 	// Lemma 2.1 numeric verification.

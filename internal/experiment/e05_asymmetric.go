@@ -40,7 +40,6 @@ func runE5(ctx *RunContext) (*Table, error) {
 			"err|U", "err|far", "‖T‖₂ₘ", "C AND",
 		},
 	}
-	r := rng.New(seed)
 	vectors := []struct {
 		name string
 		gen  func(i int) float64
@@ -50,7 +49,8 @@ func runE5(ctx *RunContext) (*Table, error) {
 		{name: "ramp 1..8", gen: func(i int) float64 { return 1 + 7*float64(i%k)/float64(k-1) }},
 		{name: "power-law", gen: func(i int) float64 { return math.Pow(float64(i%k+1), 0.3) }},
 	}
-	for _, vec := range vectors {
+	rows, err := ctx.RunRows(rng.New(seed), len(vectors), func(row int, r *rng.RNG) ([]string, error) {
+		vec := vectors[row]
 		costs := make([]float64, k)
 		inv := make([]float64, k)
 		for i := range costs {
@@ -65,8 +65,9 @@ func runE5(ctx *RunContext) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		errU := nw.EstimateError(dist.NewUniform(n), true, trials, r)
-		errFar := nw.EstimateError(dist.NewTwoBump(n, eps, r.Uint64()), false, trials, r)
+		nw.Workers = ctx.Workers
+		errU := nw.EstimateErrorParallel(dist.NewUniform(n), true, trials, r)
+		errFar := nw.EstimateErrorParallel(dist.NewTwoBump(n, eps, r.Uint64()), false, trials, r)
 		maxS, minS := 0, math.MaxInt
 		for _, s := range cfg.Samples {
 			if s > maxS {
@@ -81,14 +82,18 @@ func runE5(ctx *RunContext) (*Table, error) {
 			return nil, err
 		}
 		norm2 := stats.LpNorm(inv, 2)
-		t.AddRow(
+		return []string{
 			vec.name, fmtFloat(norm2), fmtFloat(cfg.Cost),
-			fmtFloat(cfg.Cost*norm2/math.Sqrt(float64(n))),
+			fmtFloat(cfg.Cost * norm2 / math.Sqrt(float64(n))),
 			fmtFloat(float64(maxS)), fmtFloat(float64(minS)),
 			fmtProb(errU), fmtProb(errFar),
 			fmtFloat(andCfg.Norm), fmtFloat(andCfg.Cost),
-		)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.AddRows(rows)
 	t.AddNote("paper (threshold): C = Θ(√n/ε²)/‖T‖₂ — the C·‖T‖₂/√n column must be ~constant across cost vectors")
 	t.AddNote("paper (AND): C = (ln 1/(1−p))^{1/2m}·m·√(2n)/‖T‖₂ₘ; unit costs give ‖T‖₂ = √k, recovering Theorem 1.2")
 	t.AddNote("%d trials per error cell", trials)

@@ -36,8 +36,9 @@ func runE10(ctx *RunContext) (*Table, error) {
 			"total/central", "errU cen", "errFar cen", "errU dist", "errFar dist",
 		},
 	}
-	r := rng.New(seed)
-	for _, n := range []int{1 << 14, 1 << 16, 1 << 18} {
+	ns := []int{1 << 14, 1 << 16, 1 << 18}
+	rows, err := ctx.RunRows(rng.New(seed), len(ns), func(row int, r *rng.RNG) ([]string, error) {
+		n := ns[row]
 		cc, err := tester.NewCollisionCounting(n, eps, 0)
 		if err != nil {
 			return nil, err
@@ -50,21 +51,26 @@ func runE10(ctx *RunContext) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		nw.Workers = ctx.Workers
 		far := dist.NewTwoBump(n, eps, r.Uint64())
 		errUC := tester.EstimateRejectProb(cc, dist.NewUniform(n), trials, r)
 		errFC := 1 - tester.EstimateRejectProb(cc, far, trials, r)
-		errUD := nw.EstimateError(dist.NewUniform(n), true, trials, r)
-		errFD := nw.EstimateError(far, false, trials, r)
+		errUD := nw.EstimateErrorParallel(dist.NewUniform(n), true, trials, r)
+		errFD := nw.EstimateErrorParallel(far, false, trials, r)
 		total := nw.TotalSamples()
-		t.AddRow(
+		return []string{
 			fmtFloat(float64(n)), fmtFloat(float64(cc.SampleSize())),
 			fmtFloat(float64(cfg.SamplesPerNode)),
-			fmtFloat(float64(cc.SampleSize())/float64(cfg.SamplesPerNode)),
+			fmtFloat(float64(cc.SampleSize()) / float64(cfg.SamplesPerNode)),
 			fmtFloat(float64(total)),
-			fmtFloat(float64(total)/float64(cc.SampleSize())),
+			fmtFloat(float64(total) / float64(cc.SampleSize())),
 			fmtProb(errUC), fmtProb(errFC), fmtProb(errUD), fmtProb(errFD),
-		)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.AddRows(rows)
 	t.AddNote("crossover: distributing wins on per-node samples (≈√k saving) and loses a constant factor in total samples")
 	t.AddNote("central errors are (reject uniform, accept far); distributed are network errors; %d trials each", trials)
 	return t, nil

@@ -56,7 +56,6 @@ func runE15(ctx *RunContext) (*Table, error) {
 			"placement", "T", "err|U", "err|far",
 		},
 	}
-	r := rng.New(seed)
 	nodes := make([]tester.Tester, k)
 	for i := range nodes {
 		nodes[i] = node
@@ -71,7 +70,8 @@ func runE15(ctx *RunContext) (*Table, error) {
 		{name: "below window (T=ηU)", t: int(etaU)},
 		{name: "above window (T=ηFar)", t: int(etaF) + 1},
 	}
-	for _, pl := range placements {
+	rows, err := ctx.RunRows(rng.New(seed), len(placements), func(row int, r *rng.RNG) ([]string, error) {
+		pl := placements[row]
 		if pl.t < 1 {
 			pl.t = 1
 		}
@@ -79,10 +79,15 @@ func runE15(ctx *RunContext) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		errU := nw.EstimateError(dist.NewUniform(n), true, trials, r)
-		errF := nw.EstimateError(dist.NewTwoBump(n, eps, r.Uint64()), false, trials, r)
-		t.AddRow(pl.name, fmtFloat(float64(pl.t)), fmtProb(errU), fmtProb(errF))
+		nw.Workers = ctx.Workers
+		errU := nw.EstimateErrorParallel(dist.NewUniform(n), true, trials, r)
+		errF := nw.EstimateErrorParallel(dist.NewTwoBump(n, eps, r.Uint64()), false, trials, r)
+		return []string{pl.name, fmtFloat(float64(pl.t)), fmtProb(errU), fmtProb(errF)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.AddRows(rows)
 	t.AddNote("window: [%s, %s] from ηU=%s, ηFar=%s", fmtFloat(lower), fmtFloat(upper), fmtFloat(etaU), fmtFloat(etaF))
 	t.AddNote("inside the window all placements meet the 1/3 bound; outside it one side collapses")
 	t.AddNote("%d trials per cell", trials)

@@ -8,11 +8,15 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/unifdist/unifdist/internal/obs"
+	"github.com/unifdist/unifdist/internal/rng"
 	"github.com/unifdist/unifdist/internal/simnet"
 )
 
@@ -183,6 +187,11 @@ type RunContext struct {
 	// Mode is the experiment scale, Seed the root random seed.
 	Mode Mode
 	Seed uint64
+	// Workers bounds the experiment-level parallelism: the number of
+	// concurrent sweep rows in RunRows and (threaded onto each Network) the
+	// goroutines of the parallel trial engine. 0 means GOMAXPROCS. Tables
+	// are bit-for-bit identical at any value.
+	Workers int
 	// Obs receives the run's metrics and journal events when attached.
 	Obs *obs.Recorder
 }
@@ -190,6 +199,67 @@ type RunContext struct {
 // NewRunContext builds a context with telemetry disabled.
 func NewRunContext(mode Mode, seed uint64) *RunContext {
 	return &RunContext{Mode: mode, Seed: seed}
+}
+
+// WorkerCount resolves Workers (0 or nil context = GOMAXPROCS).
+func (c *RunContext) WorkerCount() int {
+	if c == nil || c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+// RunRows executes count independent sweep-row builders, concurrently up to
+// WorkerCount, and returns the rows in index order. Each builder gets its
+// own generator split deterministically from r before any goroutine starts
+// — row i always receives the i-th split — so the table is identical
+// whether rows run serially or interleaved. The first error (by row index)
+// wins. Builders must not touch shared mutable state; telemetry through the
+// registry is safe (its metrics are atomic).
+func (c *RunContext) RunRows(r *rng.RNG, count int, fn func(row int, rr *rng.RNG) ([]string, error)) ([][]string, error) {
+	gens := make([]*rng.RNG, count)
+	for i := range gens {
+		gens[i] = r.Split()
+	}
+	rows := make([][]string, count)
+	errs := make([]error, count)
+	workers := c.WorkerCount()
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		for i := range gens {
+			rows[i], errs[i] = fn(i, gens[i])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= count {
+						return
+					}
+					rows[i], errs[i] = fn(i, gens[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// AddRows appends pre-built rows in order.
+func (t *Table) AddRows(rows [][]string) {
+	t.Rows = append(t.Rows, rows...)
 }
 
 // Registry returns the run's metrics registry (nil when disabled).

@@ -22,6 +22,9 @@ type Provenance struct {
 	GOARCH     string   `json:"goarch"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	NumCPU     int      `json:"num_cpu"`
+	// Workers is the requested worker-pool bound (0 = GOMAXPROCS); results
+	// are worker-count-invariant, so this explains timings, not numbers.
+	Workers int `json:"workers,omitempty"`
 	GitRev     string   `json:"git_rev,omitempty"`
 	GitDirty   bool     `json:"git_dirty,omitempty"`
 	// Start is the run's wall-clock start in RFC3339; WallMS the total

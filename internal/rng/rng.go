@@ -27,6 +27,20 @@ type RNG struct {
 // New returns a generator seeded from seed via splitmix64.
 func New(seed uint64) *RNG {
 	var r RNG
+	r.Seed(seed)
+	return &r
+}
+
+// Split returns a new generator whose stream is independent of r's future
+// output. Splitting advances r.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xd1342543de82ef95)
+}
+
+// Seed re-initializes r in place from seed via splitmix64, exactly as New
+// does. It lets hot loops re-seed one generator instead of allocating a
+// fresh RNG per work item.
+func (r *RNG) Seed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm, r.s[i] = splitmix64(sm)
@@ -36,13 +50,24 @@ func New(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &r
 }
 
-// Split returns a new generator whose stream is independent of r's future
-// output. Splitting advances r.
-func (r *RNG) Split() *RNG {
-	return New(r.Uint64() ^ 0xd1342543de82ef95)
+// SeedAt re-initializes r in place as the index-th child stream of base:
+// the seed is splitmix64-hashed from base and index, so streams for
+// different indices are statistically independent and any (base, index)
+// pair names the same stream on every call. This is the indexed analogue of
+// Split for deterministic parallel fan-out — worker goroutines derive trial
+// i's generator from (base, i) with no shared state and no pre-split array.
+func (r *RNG) SeedAt(base, index uint64) {
+	_, h := splitmix64(base + (index+1)*0x9e3779b97f4a7c15)
+	r.Seed(h)
+}
+
+// At returns the index-th child generator of base; see SeedAt.
+func At(base, index uint64) *RNG {
+	var r RNG
+	r.SeedAt(base, index)
+	return &r
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.

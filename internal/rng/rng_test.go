@@ -205,3 +205,56 @@ func BenchmarkIntn(b *testing.B) {
 		_ = r.Intn(1000003)
 	}
 }
+
+func TestSeedMatchesNew(t *testing.T) {
+	var r RNG
+	r.Seed(99)
+	fresh := New(99)
+	for i := 0; i < 100; i++ {
+		if r.Uint64() != fresh.Uint64() {
+			t.Fatal("Seed diverges from New")
+		}
+	}
+	// Re-seeding in place restarts the stream.
+	r.Seed(99)
+	if r.Uint64() != New(99).Uint64() {
+		t.Fatal("re-Seed did not restart the stream")
+	}
+}
+
+func TestAtDeterministicAndDistinct(t *testing.T) {
+	a, b := At(5, 17), At(5, 17)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("At(5, 17) not deterministic")
+		}
+	}
+	// Adjacent indices and adjacent bases must give distinct streams.
+	pairs := [][2]*RNG{
+		{At(5, 0), At(5, 1)},
+		{At(5, 3), At(6, 3)},
+		{At(0, 0), At(0, 1)},
+	}
+	for pi, p := range pairs {
+		same := 0
+		for i := 0; i < 100; i++ {
+			if p[0].Uint64() == p[1].Uint64() {
+				same++
+			}
+		}
+		if same > 0 {
+			t.Fatalf("pair %d agreed on %d of 100 draws", pi, same)
+		}
+	}
+}
+
+func TestSeedAtMatchesAt(t *testing.T) {
+	var r RNG
+	r.SeedAt(11, 4)
+	want := At(11, 4)
+	for i := 0; i < 50; i++ {
+		if r.Uint64() != want.Uint64() {
+			t.Fatal("SeedAt diverges from At")
+		}
+	}
+}

@@ -3,7 +3,8 @@ package tester
 import (
 	"fmt"
 	"math"
-	"sort"
+
+	"github.com/unifdist/unifdist/internal/dist"
 )
 
 // This file holds alternative centralized statistics used by the ablation
@@ -56,10 +57,15 @@ func (t *DistinctCount) SampleSize() int { return t.s }
 
 // Test accepts iff the repeat count s − distinct is at most the threshold.
 func (t *DistinctCount) Test(samples []int) bool {
+	return t.TestScratch(samples, nil)
+}
+
+// TestScratch implements ScratchTester.
+func (t *DistinctCount) TestScratch(samples []int, sc *dist.CollisionScratch) bool {
 	if len(samples) != t.s {
 		panic(fmt.Sprintf("tester: got %d samples, want %d", len(samples), t.s))
 	}
-	return float64(t.s-countDistinct(samples)) <= t.threshold
+	return float64(t.s-sc.CountDistinct(t.n, samples)) <= t.threshold
 }
 
 // Name implements Tester.
@@ -153,20 +159,3 @@ func (t *EmpiricalTV) Name() string {
 
 // Threshold returns the TV acceptance cutoff.
 func (t *EmpiricalTV) Threshold() float64 { return t.threshold }
-
-// countDistinct returns the number of distinct values in xs.
-func countDistinct(xs []int) int {
-	if len(xs) == 0 {
-		return 0
-	}
-	cp := make([]int, len(xs))
-	copy(cp, xs)
-	sort.Ints(cp)
-	distinct := 1
-	for i := 1; i < len(cp); i++ {
-		if cp[i] != cp[i-1] {
-			distinct++
-		}
-	}
-	return distinct
-}

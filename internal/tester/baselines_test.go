@@ -66,16 +66,18 @@ func TestCountDistinct(t *testing.T) {
 		{name: "all distinct", xs: []int{3, 1, 2}, want: 3},
 		{name: "mixed", xs: []int{1, 2, 1, 3, 2}, want: 3},
 	}
+	sc := dist.NewCollisionScratch()
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if got := countDistinct(tt.xs); got != tt.want {
-				t.Fatalf("countDistinct(%v) = %d, want %d", tt.xs, got, tt.want)
+			if got := sc.CountDistinct(10, tt.xs); got != tt.want {
+				t.Fatalf("CountDistinct(%v) = %d, want %d", tt.xs, got, tt.want)
 			}
 		})
 	}
 }
 
 func TestCountDistinctMatchesMap(t *testing.T) {
+	sc := dist.NewCollisionScratch()
 	f := func(seed uint64, sRaw uint8) bool {
 		r := rng.New(seed)
 		xs := dist.SampleN(dist.NewUniform(10), int(sRaw%30)+1, r)
@@ -83,7 +85,7 @@ func TestCountDistinctMatchesMap(t *testing.T) {
 		for _, x := range xs {
 			m[x] = true
 		}
-		return countDistinct(xs) == len(m)
+		return sc.CountDistinct(10, xs) == len(m)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

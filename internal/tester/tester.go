@@ -14,7 +14,6 @@ package tester
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"github.com/unifdist/unifdist/internal/dist"
 	"github.com/unifdist/unifdist/internal/rng"
@@ -30,6 +29,16 @@ type Tester interface {
 	Test(samples []int) bool
 	// Name returns a short description for tables and logs.
 	Name() string
+}
+
+// ScratchTester is implemented by testers whose statistic can be computed
+// against a reusable dist.CollisionScratch, making repeated Test calls
+// allocation-free. TestScratch(samples, nil) must equal Test(samples); the
+// zeroround trial engines thread one scratch per worker through this path.
+type ScratchTester interface {
+	Tester
+	// TestScratch is Test using sc's reusable buffers.
+	TestScratch(samples []int, sc *dist.CollisionScratch) bool
 }
 
 // Run draws the tester's required samples from d and returns its verdict.
@@ -165,10 +174,15 @@ func (t *SingleCollision) SampleSize() int { return t.params.S }
 
 // Test accepts iff the samples are pairwise distinct.
 func (t *SingleCollision) Test(samples []int) bool {
+	return t.TestScratch(samples, nil)
+}
+
+// TestScratch implements ScratchTester.
+func (t *SingleCollision) TestScratch(samples []int, sc *dist.CollisionScratch) bool {
 	if len(samples) != t.params.S {
 		panic(fmt.Sprintf("tester: got %d samples, want %d", len(samples), t.params.S))
 	}
-	return !hasCollision(samples)
+	return !sc.HasCollision(t.params.N, samples)
 }
 
 // Name implements Tester.
@@ -220,12 +234,18 @@ func (t *Amplified) SampleSize() int { return t.m * t.inner.params.S }
 // Test partitions the samples into m blocks and rejects iff every block
 // contains a collision.
 func (t *Amplified) Test(samples []int) bool {
+	return t.TestScratch(samples, nil)
+}
+
+// TestScratch implements ScratchTester.
+func (t *Amplified) TestScratch(samples []int, sc *dist.CollisionScratch) bool {
 	if len(samples) != t.SampleSize() {
 		panic(fmt.Sprintf("tester: got %d samples, want %d", len(samples), t.SampleSize()))
 	}
 	s := t.inner.params.S
+	n := t.inner.params.N
 	for i := 0; i < t.m; i++ {
-		if !hasCollision(samples[i*s : (i+1)*s]) {
+		if !sc.HasCollision(n, samples[i*s:(i+1)*s]) {
 			return true // some block saw no collision ⇒ accept
 		}
 	}
@@ -287,10 +307,15 @@ func (t *CollisionCounting) SampleSize() int { return t.s }
 // Test counts colliding pairs and accepts iff the count is at most the
 // threshold.
 func (t *CollisionCounting) Test(samples []int) bool {
+	return t.TestScratch(samples, nil)
+}
+
+// TestScratch implements ScratchTester.
+func (t *CollisionCounting) TestScratch(samples []int, sc *dist.CollisionScratch) bool {
 	if len(samples) != t.s {
 		panic(fmt.Sprintf("tester: got %d samples, want %d", len(samples), t.s))
 	}
-	return float64(countCollisions(samples)) <= t.threshold
+	return float64(sc.CountCollisions(t.n, samples)) <= t.threshold
 }
 
 // Name implements Tester.
@@ -299,59 +324,28 @@ func (t *CollisionCounting) Name() string {
 }
 
 // EstimateRejectProb runs t on trials independent sample sets from d and
-// returns the empirical rejection probability.
+// returns the empirical rejection probability. Sampling goes through the
+// batch kernels and, for ScratchTesters, the statistic reuses one
+// allocation-free scratch across all trials.
 func EstimateRejectProb(t Tester, d dist.Distribution, trials int, r *rng.RNG) float64 {
 	rejects := 0
 	buf := make([]int, t.SampleSize())
+	st, scratchable := t.(ScratchTester)
+	var sc *dist.CollisionScratch
+	if scratchable {
+		sc = dist.NewCollisionScratch()
+	}
 	for i := 0; i < trials; i++ {
-		for j := range buf {
-			buf[j] = d.Sample(r)
+		dist.SampleInto(d, buf, r)
+		accept := false
+		if scratchable {
+			accept = st.TestScratch(buf, sc)
+		} else {
+			accept = t.Test(buf)
 		}
-		if !t.Test(buf) {
+		if !accept {
 			rejects++
 		}
 	}
 	return float64(rejects) / float64(trials)
-}
-
-// hasCollision reports whether xs contains a repeated element. It sorts a
-// copy, avoiding map allocation in the experiment hot path.
-func hasCollision(xs []int) bool {
-	switch len(xs) {
-	case 0, 1:
-		return false
-	case 2:
-		return xs[0] == xs[1]
-	}
-	cp := make([]int, len(xs))
-	copy(cp, xs)
-	sort.Ints(cp)
-	for i := 1; i < len(cp); i++ {
-		if cp[i] == cp[i-1] {
-			return true
-		}
-	}
-	return false
-}
-
-// countCollisions returns the number of equal pairs in xs.
-func countCollisions(xs []int) int {
-	if len(xs) < 2 {
-		return 0
-	}
-	cp := make([]int, len(xs))
-	copy(cp, xs)
-	sort.Ints(cp)
-	total := 0
-	run := 1
-	for i := 1; i < len(cp); i++ {
-		if cp[i] == cp[i-1] {
-			run++
-			continue
-		}
-		total += run * (run - 1) / 2
-		run = 1
-	}
-	total += run * (run - 1) / 2
-	return total
 }

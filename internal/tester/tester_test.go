@@ -3,7 +3,6 @@ package tester
 import (
 	"math"
 	"testing"
-	"testing/quick"
 
 	"github.com/unifdist/unifdist/internal/dist"
 	"github.com/unifdist/unifdist/internal/rng"
@@ -296,35 +295,44 @@ func TestBaselineSampleSizeScaling(t *testing.T) {
 	}
 }
 
-func TestHasCollisionMatchesDistPackage(t *testing.T) {
-	f := func(seed uint64, sRaw uint8) bool {
-		r := rng.New(seed)
-		s := int(sRaw%30) + 1
-		samples := dist.SampleN(dist.NewUniform(12), s, r)
-		return hasCollision(samples) == dist.HasCollision(samples)
-	}
-	if err := quick.Check(f, nil); err != nil {
+func TestScratchTestMatchesTest(t *testing.T) {
+	// TestScratch(samples, sc) must agree with Test(samples) for every
+	// scratch-aware tester, across repeated scratch reuse.
+	n := 1 << 10
+	sc1, err := NewSingleCollision(n, 0.3, 1)
+	if err != nil {
 		t.Fatal(err)
 	}
-}
-
-func TestCountCollisionsMatchesDistPackage(t *testing.T) {
-	f := func(seed uint64, sRaw uint8) bool {
-		r := rng.New(seed)
-		s := int(sRaw % 40)
-		samples := dist.SampleN(dist.NewUniform(9), s+1, r)
-		return countCollisions(samples) == dist.CountCollisions(samples)
-	}
-	if err := quick.Check(f, nil); err != nil {
+	am, err := NewAmplified(n, 0.3, 1, 3)
+	if err != nil {
 		t.Fatal(err)
+	}
+	cc, err := NewCollisionCounting(n, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := NewDistinctCount(n, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(17)
+	scratch := dist.NewCollisionScratch()
+	for _, tc := range []ScratchTester{sc1, am, cc, dc} {
+		d := dist.NewTwoBump(n, 1, 5)
+		for trial := 0; trial < 50; trial++ {
+			samples := dist.SampleN(d, tc.SampleSize(), r)
+			if got, want := tc.TestScratch(samples, scratch), tc.Test(samples); got != want {
+				t.Fatalf("%s trial %d: TestScratch=%v Test=%v", tc.Name(), trial, got, want)
+			}
+		}
 	}
 }
 
 func TestHasCollisionDoesNotMutate(t *testing.T) {
 	xs := []int{3, 1, 2, 1}
-	hasCollision(xs)
+	dist.HasCollision(xs)
 	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 || xs[3] != 1 {
-		t.Fatal("hasCollision mutated input")
+		t.Fatal("HasCollision mutated input")
 	}
 }
 

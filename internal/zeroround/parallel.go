@@ -3,6 +3,7 @@ package zeroround
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/unifdist/unifdist/internal/dist"
@@ -11,9 +12,22 @@ import (
 )
 
 // EstimateErrorParallel is EstimateError with trials fanned out across
-// worker goroutines, each with an independent generator split from r. The
-// result is deterministic in r regardless of scheduling: trial i always
-// uses the i-th split.
+// worker goroutines. The result is bit-for-bit deterministic in r at any
+// worker count and any GOMAXPROCS:
+//
+//   - trial i's generator is derived by index — rng.At(base, i) for a base
+//     drawn once from r — so the assignment of randomness to trials depends
+//     on neither scheduling nor the number of workers, with no O(trials)
+//     pre-split allocation;
+//   - workers claim chunks of trial indices from one atomic counter
+//     (work-stealing: fast workers take more chunks) and fold verdicts into
+//     per-worker partial sums, published once per worker; the total is a
+//     commutative sum, so the estimate is schedule-independent.
+//
+// Each worker owns one Scratch, so steady-state trials allocate only the
+// per-trial generator reseed (nothing on the heap). The old engine paid an
+// unbuffered channel send plus a mutexed tally per trial; see
+// BenchmarkEstimateParallelEngine vs BenchmarkEstimateParallelChannelRef.
 //
 // When nw.Obs is attached, each worker records per-trial latencies into the
 // shared zeroround.trial_ns histogram and the trial/wrong counters; the
@@ -23,58 +37,100 @@ func (nw *Network) EstimateErrorParallel(d dist.Distribution, wantAccept bool, t
 	if trials <= 0 {
 		return 0
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > trials {
-		workers = trials
-	}
+	// One draw fixes every trial's randomness and advances r, mirroring the
+	// old engine's property that estimation perturbs the caller's stream
+	// deterministically.
+	base := r.Uint64()
+	workers := nw.workerCount(trials)
 	var trialNS *obs.Histogram
 	if nw.Obs != nil {
 		trialNS = nw.Obs.Histogram("zeroround.trial_ns", obs.LatencyBuckets())
 	}
-	// Pre-split one generator per trial so the assignment of randomness to
-	// trials does not depend on goroutine interleaving.
-	gens := make([]*rng.RNG, trials)
-	for i := range gens {
-		gens[i] = r.Split()
-	}
-	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		wrong int
-	)
-	next := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			local := 0
-			for i := range next {
-				if trialNS != nil {
-					start := time.Now()
-					got, _ := nw.Run(d, gens[i])
-					trialNS.Observe(time.Since(start).Nanoseconds())
-					if got != wantAccept {
-						local++
-					}
-					continue
+
+	runRange := func(lo, hi int, gen *rng.RNG, sc *Scratch) int {
+		wrong := 0
+		for i := lo; i < hi; i++ {
+			gen.SeedAt(base, uint64(i))
+			if trialNS != nil {
+				start := time.Now()
+				got := nw.runVerdict(d, gen, sc)
+				trialNS.Observe(time.Since(start).Nanoseconds())
+				if got != wantAccept {
+					wrong++
 				}
-				if got, _ := nw.Run(d, gens[i]); got != wantAccept {
-					local++
-				}
+				continue
 			}
-			mu.Lock()
-			wrong += local
-			mu.Unlock()
-		}()
+			if nw.runVerdict(d, gen, sc) != wantAccept {
+				wrong++
+			}
+		}
+		return wrong
 	}
-	for i := 0; i < trials; i++ {
-		next <- i
+
+	var wrong int
+	if workers == 1 {
+		wrong = runRange(0, trials, rng.New(0), nw.NewScratch())
+	} else {
+		chunk := chunkSize(trials, workers)
+		var next, total atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				gen := rng.New(0)
+				sc := nw.NewScratch()
+				local := 0
+				for {
+					lo := int(next.Add(int64(chunk))) - chunk
+					if lo >= trials {
+						break
+					}
+					hi := lo + chunk
+					if hi > trials {
+						hi = trials
+					}
+					local += runRange(lo, hi, gen, sc)
+				}
+				total.Add(int64(local))
+			}()
+		}
+		wg.Wait()
+		wrong = int(total.Load())
 	}
-	close(next)
-	wg.Wait()
+
 	if nw.Obs != nil {
 		nw.Obs.Counter("zeroround.trials").Add(int64(trials))
 		nw.Obs.Counter("zeroround.wrong").Add(int64(wrong))
 	}
 	return float64(wrong) / float64(trials)
+}
+
+// workerCount resolves nw.Workers (0 = GOMAXPROCS) and caps it at trials.
+func (nw *Network) workerCount(trials int) int {
+	workers := nw.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// chunkSize picks the work-stealing grain: small enough that slow trials
+// cannot strand one worker with a long tail (≥ 8 chunks per worker when
+// trials allow), large enough to amortize the atomic claim.
+func chunkSize(trials, workers int) int {
+	chunk := trials / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 64 {
+		chunk = 64
+	}
+	return chunk
 }

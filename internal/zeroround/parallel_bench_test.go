@@ -1,0 +1,97 @@
+package zeroround
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/rng"
+)
+
+// estimateErrorParallelChannelRef is the pre-PR-2 trial engine, kept
+// verbatim (modulo Run → RunWith(nil)) as the benchmark baseline: one
+// generator pre-split per trial, one unbuffered channel send per trial, and
+// a mutexed tally. BenchmarkEstimateParallelEngine measures the
+// replacement; the delta is the dispatch overhead the chunked atomic engine
+// removes.
+func (nw *Network) estimateErrorParallelChannelRef(d dist.Distribution, wantAccept bool, trials, workers int, r *rng.RNG) float64 {
+	if trials <= 0 {
+		return 0
+	}
+	if workers > trials {
+		workers = trials
+	}
+	gens := make([]*rng.RNG, trials)
+	for i := range gens {
+		gens[i] = r.Split()
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		wrong int
+	)
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			local := 0
+			for i := range next {
+				if got, _ := nw.Run(d, gens[i]); got != wantAccept {
+					local++
+				}
+			}
+			mu.Lock()
+			wrong += local
+			mu.Unlock()
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return float64(wrong) / float64(trials)
+}
+
+// benchNetwork builds a small threshold network so the per-trial statistic
+// is cheap and the engines' dispatch overhead dominates.
+func benchNetwork(b *testing.B) (*Network, dist.Distribution) {
+	b.Helper()
+	cfg, err := SolveThreshold(1<<12, 200, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := BuildThreshold(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nw, dist.NewUniform(1 << 12)
+}
+
+func BenchmarkEstimateParallelChannelRef(b *testing.B) {
+	nw, d := benchNetwork(b)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.estimateErrorParallelChannelRef(d, true, 256, nw.workerCount(256), r)
+	}
+}
+
+func BenchmarkEstimateParallelEngine(b *testing.B) {
+	nw, d := benchNetwork(b)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.EstimateErrorParallel(d, true, 256, r)
+	}
+}
+
+func BenchmarkEstimateSerial(b *testing.B) {
+	nw, d := benchNetwork(b)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.EstimateError(d, true, 256, r)
+	}
+}

@@ -2,6 +2,7 @@ package zeroround
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"github.com/unifdist/unifdist/internal/dist"
@@ -58,5 +59,92 @@ func TestEstimateErrorParallelZeroTrials(t *testing.T) {
 	}
 	if got := nw.EstimateErrorParallel(dist.NewUniform(1<<12), true, 0, rng.New(1)); got != 0 {
 		t.Fatalf("zero trials returned %v", got)
+	}
+}
+
+// TestEstimateErrorParallelWorkerCountInvariant checks the engine's core
+// guarantee: the estimate is bit-for-bit identical at every worker count,
+// and at any GOMAXPROCS.
+func TestEstimateErrorParallelWorkerCountInvariant(t *testing.T) {
+	n := 1 << 14
+	cfg, err := SolveThreshold(n, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := BuildThreshold(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := dist.NewTwoBump(n, 1, 3)
+	want := -1.0
+	for _, workers := range []int{1, 2, 3, 8} {
+		nw.Workers = workers
+		got := nw.EstimateErrorParallel(far, false, 37, rng.New(11))
+		if want < 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d: estimate %v, want %v", workers, got, want)
+		}
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		nw.Workers = 0 // default to GOMAXPROCS
+		if got := nw.EstimateErrorParallel(far, false, 37, rng.New(11)); got != want {
+			t.Fatalf("GOMAXPROCS=%d: estimate %v, want %v", procs, got, want)
+		}
+	}
+}
+
+// TestEstimateErrorParallelAdvancesCaller checks estimation consumes the
+// caller's stream deterministically: two estimates from one generator give
+// the same pair of results as a fresh generator's two estimates.
+func TestEstimateErrorParallelAdvancesCaller(t *testing.T) {
+	n := 1 << 12
+	cfg, err := SolveThreshold(n, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := BuildThreshold(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := dist.NewUniform(n)
+	r1 := rng.New(21)
+	a1 := nw.EstimateErrorParallel(u, true, 20, r1)
+	a2 := nw.EstimateErrorParallel(u, true, 20, r1)
+	r2 := rng.New(21)
+	b1 := nw.EstimateErrorParallel(u, true, 20, r2)
+	b2 := nw.EstimateErrorParallel(u, true, 20, r2)
+	if a1 != b1 || a2 != b2 {
+		t.Fatalf("replayed estimates differ: (%v,%v) vs (%v,%v)", a1, a2, b1, b2)
+	}
+}
+
+func TestChunkSize(t *testing.T) {
+	if got := chunkSize(10, 4); got != 1 {
+		t.Errorf("chunkSize(10,4) = %d, want 1", got)
+	}
+	if got := chunkSize(1000, 2); got != 62 {
+		t.Errorf("chunkSize(1000,2) = %d, want 62", got)
+	}
+	if got := chunkSize(100000, 4); got != 64 {
+		t.Errorf("chunkSize(100000,4) = %d, want 64 (cap)", got)
+	}
+}
+
+func TestWorkerCount(t *testing.T) {
+	nw := &Network{Workers: 5}
+	if got := nw.workerCount(3); got != 3 {
+		t.Errorf("workerCount capped = %d, want 3", got)
+	}
+	if got := nw.workerCount(100); got != 5 {
+		t.Errorf("workerCount = %d, want 5", got)
+	}
+	nw.Workers = 0
+	if got := nw.workerCount(100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workerCount = %d, want GOMAXPROCS", got)
 	}
 }

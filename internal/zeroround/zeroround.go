@@ -38,11 +38,33 @@ type Rule interface {
 	Name() string
 }
 
+// EarlyDecider is an optional Rule refinement: rules whose verdict can
+// become fixed before every node has voted implement it, and the
+// Monte-Carlo estimators stop sampling the remaining nodes as soon as the
+// outcome is determined. The verdict is identical to a full scan — only
+// the work (and the per-trial randomness consumed) shrinks — so
+// estimators stay deterministic for a fixed seed. Run and RunWith never
+// short-circuit: their rejects count is part of the API.
+type EarlyDecider interface {
+	// Decided reports whether the verdict is already fixed after observing
+	// rejects rejecting votes with remaining nodes still unpolled, and if
+	// so what the verdict is.
+	Decided(rejects, remaining int) (accept, done bool)
+}
+
 // ANDRule accepts iff no node rejects.
 type ANDRule struct{}
 
 // Accept implements Rule.
 func (ANDRule) Accept(rejects, _ int) bool { return rejects == 0 }
+
+// Decided implements EarlyDecider: one rejection settles the verdict.
+func (ANDRule) Decided(rejects, remaining int) (accept, done bool) {
+	if rejects > 0 {
+		return false, true
+	}
+	return true, remaining == 0
+}
 
 // Name implements Rule.
 func (ANDRule) Name() string { return "AND" }
@@ -56,6 +78,18 @@ type ThresholdRule struct {
 // Accept implements Rule.
 func (t ThresholdRule) Accept(rejects, _ int) bool { return rejects < t.T }
 
+// Decided implements EarlyDecider: the verdict is fixed once T rejections
+// have been seen, or once too few nodes remain to reach T.
+func (t ThresholdRule) Decided(rejects, remaining int) (accept, done bool) {
+	if rejects >= t.T {
+		return false, true
+	}
+	if rejects+remaining < t.T {
+		return true, true
+	}
+	return false, false
+}
+
 // Name implements Rule.
 func (t ThresholdRule) Name() string { return fmt.Sprintf("threshold(T=%d)", t.T) }
 
@@ -64,6 +98,13 @@ func (t ThresholdRule) Name() string { return fmt.Sprintf("threshold(T=%d)", t.T
 type Network struct {
 	nodes []tester.Tester
 	rule  Rule
+	// scratchNodes[i] is nodes[i] as a ScratchTester, or nil; resolved once
+	// at construction so Run pays no type assertion per node per trial.
+	scratchNodes []tester.ScratchTester
+	// early is rule as an EarlyDecider, or nil; resolved once likewise.
+	early EarlyDecider
+	// maxSamples caches MaxSamplesPerNode.
+	maxSamples int
 
 	// Obs, when non-nil, receives per-trial telemetry from EstimateError
 	// and EstimateErrorParallel: the zeroround.trials counter,
@@ -71,6 +112,11 @@ type Network struct {
 	// histogram. Leave nil to disable (the cost is one pointer check per
 	// estimate call).
 	Obs *obs.Registry
+
+	// Workers bounds the goroutines used by EstimateErrorParallel;
+	// 0 means GOMAXPROCS. The estimate is bit-for-bit identical at any
+	// worker count.
+	Workers int
 }
 
 // NewNetwork builds a 0-round network. All nodes may share one tester value
@@ -82,7 +128,23 @@ func NewNetwork(nodes []tester.Tester, rule Rule) (*Network, error) {
 	if rule == nil {
 		return nil, fmt.Errorf("zeroround: nil decision rule")
 	}
-	return &Network{nodes: nodes, rule: rule}, nil
+	nw := &Network{
+		nodes:        nodes,
+		rule:         rule,
+		scratchNodes: make([]tester.ScratchTester, len(nodes)),
+	}
+	for i, nd := range nodes {
+		if st, ok := nd.(tester.ScratchTester); ok {
+			nw.scratchNodes[i] = st
+		}
+		if s := nd.SampleSize(); s > nw.maxSamples {
+			nw.maxSamples = s
+		}
+	}
+	if ed, ok := rule.(EarlyDecider); ok {
+		nw.early = ed
+	}
+	return nw, nil
 }
 
 // K returns the network size.
@@ -101,30 +163,91 @@ func (nw *Network) TotalSamples() int {
 }
 
 // MaxSamplesPerNode returns the largest per-node sample count.
-func (nw *Network) MaxSamplesPerNode() int {
-	max := 0
-	for _, nd := range nw.nodes {
-		if s := nd.SampleSize(); s > max {
-			max = s
-		}
+func (nw *Network) MaxSamplesPerNode() int { return nw.maxSamples }
+
+// Scratch holds the reusable buffers of one Run execution: the sample
+// buffer and the collision-statistic scratch. One Scratch serves any number
+// of sequential Run calls on the same network; it is not safe for
+// concurrent use, so parallel estimators allocate one per worker.
+type Scratch struct {
+	buf []int
+	col *dist.CollisionScratch
+}
+
+// NewScratch returns run scratch sized for nw.
+func (nw *Network) NewScratch() *Scratch {
+	return &Scratch{
+		buf: make([]int, nw.maxSamples),
+		col: dist.NewCollisionScratch(),
 	}
-	return max
 }
 
 // Run draws fresh samples for every node from d and returns the network
 // verdict (true = accept) along with the number of rejecting nodes.
+//
+// Run allocates a sample buffer per call; Monte-Carlo loops should
+// allocate one Scratch via NewScratch and call RunWith instead.
 func (nw *Network) Run(d dist.Distribution, r *rng.RNG) (accept bool, rejects int) {
-	buf := make([]int, nw.MaxSamplesPerNode())
-	for _, nd := range nw.nodes {
+	return nw.RunWith(d, r, nil)
+}
+
+// RunWith is Run using sc's reusable buffers (nil sc allocates). For every
+// node the sample block is drawn through the batch kernels and the verdict
+// computed against the shared collision scratch, so a warm Scratch makes a
+// trial allocation-free.
+func (nw *Network) RunWith(d dist.Distribution, r *rng.RNG, sc *Scratch) (accept bool, rejects int) {
+	var buf []int
+	var col *dist.CollisionScratch
+	if sc != nil {
+		buf, col = sc.buf, sc.col
+	} else {
+		buf = make([]int, nw.maxSamples)
+	}
+	for i, nd := range nw.nodes {
 		s := nd.SampleSize()
-		for j := 0; j < s; j++ {
-			buf[j] = d.Sample(r)
+		block := buf[:s]
+		dist.SampleInto(d, block, r)
+		var ok bool
+		if st := nw.scratchNodes[i]; st != nil {
+			ok = st.TestScratch(block, col)
+		} else {
+			ok = nd.Test(block)
 		}
-		if !nd.Test(buf[:s]) {
+		if !ok {
 			rejects++
 		}
 	}
 	return nw.rule.Accept(rejects, len(nw.nodes)), rejects
+}
+
+// runVerdict is RunWith restricted to the verdict: when the rule is an
+// EarlyDecider it stops polling nodes as soon as the outcome is fixed
+// (e.g. the first rejection under AND, the T-th under threshold). The
+// Monte-Carlo estimators go through here; each trial's verdict is
+// unchanged, only its cost.
+func (nw *Network) runVerdict(d dist.Distribution, r *rng.RNG, sc *Scratch) bool {
+	buf, col := sc.buf, sc.col
+	k := len(nw.nodes)
+	rejects := 0
+	for i, nd := range nw.nodes {
+		block := buf[:nd.SampleSize()]
+		dist.SampleInto(d, block, r)
+		var ok bool
+		if st := nw.scratchNodes[i]; st != nil {
+			ok = st.TestScratch(block, col)
+		} else {
+			ok = nd.Test(block)
+		}
+		if !ok {
+			rejects++
+		}
+		if nw.early != nil {
+			if accept, done := nw.early.Decided(rejects, k-i-1); done {
+				return accept
+			}
+		}
+	}
+	return nw.rule.Accept(rejects, k)
 }
 
 // EstimateError runs trials independent executions on d and returns the
@@ -132,9 +255,10 @@ func (nw *Network) Run(d dist.Distribution, r *rng.RNG) (accept bool, rejects in
 // correct verdict for d.
 func (nw *Network) EstimateError(d dist.Distribution, wantAccept bool, trials int, r *rng.RNG) float64 {
 	wrong := 0
+	sc := nw.NewScratch()
 	if nw.Obs == nil {
 		for i := 0; i < trials; i++ {
-			if got, _ := nw.Run(d, r); got != wantAccept {
+			if nw.runVerdict(d, r, sc) != wantAccept {
 				wrong++
 			}
 		}
@@ -143,7 +267,7 @@ func (nw *Network) EstimateError(d dist.Distribution, wantAccept bool, trials in
 	trialNS := nw.Obs.Histogram("zeroround.trial_ns", obs.LatencyBuckets())
 	for i := 0; i < trials; i++ {
 		start := time.Now()
-		got, _ := nw.Run(d, r)
+		got := nw.runVerdict(d, r, sc)
 		trialNS.Observe(time.Since(start).Nanoseconds())
 		if got != wantAccept {
 			wrong++

@@ -472,3 +472,67 @@ func BenchmarkThresholdNetworkRun(b *testing.B) {
 		_, _ = nw.Run(u, r)
 	}
 }
+
+// TestEarlyDeciderMatchesAccept checks that Decided, whenever it claims the
+// verdict is fixed, agrees with Accept for every completion of the
+// remaining votes.
+func TestEarlyDeciderMatchesAccept(t *testing.T) {
+	const k = 12
+	rules := []Rule{ANDRule{}, ThresholdRule{T: 1}, ThresholdRule{T: 4}, ThresholdRule{T: k}}
+	for _, rule := range rules {
+		ed, ok := rule.(EarlyDecider)
+		if !ok {
+			t.Fatalf("%s does not implement EarlyDecider", rule.Name())
+		}
+		for rejects := 0; rejects <= k; rejects++ {
+			for remaining := 0; remaining <= k-rejects; remaining++ {
+				accept, done := ed.Decided(rejects, remaining)
+				if remaining == 0 && !done {
+					t.Errorf("%s: Decided(%d, 0) not done", rule.Name(), rejects)
+					continue
+				}
+				if !done {
+					continue
+				}
+				// Every completion must yield the claimed verdict.
+				for extra := 0; extra <= remaining; extra++ {
+					if got := rule.Accept(rejects+extra, k); got != accept {
+						t.Errorf("%s: Decided(%d, %d) = %v but Accept(%d) = %v",
+							rule.Name(), rejects, remaining, accept, rejects+extra, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunVerdictMatchesRunWith replays identical per-trial streams through
+// the short-circuiting verdict path and the full-scan RunWith and demands
+// identical verdicts under both rules.
+func TestRunVerdictMatchesRunWith(t *testing.T) {
+	const n = 1 << 10
+	node, err := tester.NewSingleCollision(n, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]tester.Tester, 40)
+	for i := range nodes {
+		nodes[i] = node
+	}
+	for _, rule := range []Rule{ANDRule{}, ThresholdRule{T: 5}} {
+		nw, err := NewNetwork(nodes, rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := nw.NewScratch()
+		for _, d := range []dist.Distribution{dist.NewUniform(n), dist.NewTwoBump(n, 1, 3)} {
+			for trial := 0; trial < 60; trial++ {
+				fast := nw.runVerdict(d, rng.At(9, uint64(trial)), sc)
+				slow, _ := nw.RunWith(d, rng.At(9, uint64(trial)), sc)
+				if fast != slow {
+					t.Fatalf("%s trial %d: runVerdict = %v, RunWith = %v", rule.Name(), trial, fast, slow)
+				}
+			}
+		}
+	}
+}

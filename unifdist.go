@@ -33,6 +33,15 @@ type (
 	Histogram = dist.Histogram
 )
 
+// Sampling and collision kernels.
+type (
+	// BatchSampler is the optional batch-sampling refinement of Distribution.
+	BatchSampler = dist.BatchSampler
+	// CollisionScratch holds reusable state for allocation-free collision
+	// statistics across many sample blocks.
+	CollisionScratch = dist.CollisionScratch
+)
+
 // Distribution constructors and measures, re-exported from internal/dist.
 var (
 	NewUniform           = dist.NewUniform
@@ -46,6 +55,10 @@ var (
 	TV                   = dist.TV
 	CollisionProbability = dist.CollisionProbability
 	SampleN              = dist.SampleN
+	SampleInto           = dist.SampleInto
+	NewCollisionScratch  = dist.NewCollisionScratch
+	HasCollision         = dist.HasCollision
+	CountCollisions      = dist.CountCollisions
 )
 
 // Centralized testers (Section 3).
