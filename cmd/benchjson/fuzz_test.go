@@ -1,0 +1,57 @@
+package main
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// FuzzBenchjsonParse asserts Parse never panics on arbitrary input — CI
+// pipes raw `go test -bench` output through benchjson, so a malformed line
+// must degrade to "ignored", never to a crash — and that whatever it does
+// return upholds the documented invariants: names are non-empty
+// Benchmark-prefixed and sorted, names are unique, and iteration counts
+// are the parsed integers (non-negative).
+func FuzzBenchjsonParse(f *testing.F) {
+	f.Add("BenchmarkFoo-8   \t1000\t1234 ns/op\t56 B/op\t7 allocs/op")
+	f.Add("BenchmarkBar 1 0.5 ns/op\ngoos: linux\nPASS\nok  pkg 1.2s")
+	f.Add("BenchmarkDup 1 1 ns/op\nBenchmarkDup 2 2 ns/op")
+	f.Add("Benchmark 1 1 ns/op")
+	f.Add("BenchmarkHuge 9223372036854775807 1e300 ns/op")
+	f.Add("BenchmarkNaN 5 NaN ns/op\nBenchmarkNeg -1 1 ns/op")
+	f.Add("\x00\xff�")
+	f.Add(strings.Repeat("BenchmarkLong", 1<<10) + " 1 1 ns/op")
+	f.Fuzz(func(t *testing.T, input string) {
+		results, err := Parse(strings.NewReader(input))
+		if err != nil {
+			// Only scanner errors (e.g. a single line beyond the buffer cap)
+			// are allowed; a nil slice must accompany them.
+			if results != nil {
+				t.Fatalf("Parse returned results alongside error %v", err)
+			}
+			return
+		}
+		names := make([]string, 0, len(results))
+		seen := map[string]bool{}
+		for _, r := range results {
+			if !strings.HasPrefix(r.Name, "Benchmark") {
+				t.Fatalf("result name %q lacks Benchmark prefix", r.Name)
+			}
+			if seen[r.Name] {
+				t.Fatalf("duplicate name %q in results", r.Name)
+			}
+			seen[r.Name] = true
+			names = append(names, r.Name)
+			if r.Iterations < 0 {
+				t.Fatalf("negative iterations %d for %q", r.Iterations, r.Name)
+			}
+			if math.IsNaN(r.NsPerOp) || math.IsInf(r.NsPerOp, 0) {
+				t.Fatalf("non-finite ns/op %v for %q cannot encode to JSON", r.NsPerOp, r.Name)
+			}
+		}
+		if !sort.StringsAreSorted(names) {
+			t.Fatalf("result names not sorted: %v", names)
+		}
+	})
+}

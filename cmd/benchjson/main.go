@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -114,14 +115,16 @@ func parseLine(line string) (Result, bool) {
 		}
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
+	if err != nil || iters < 0 {
 		return Result{}, false
 	}
 	res := Result{Name: name, Iterations: iters}
 	havePrimary := false
 	for i := 2; i+1 < len(fields); i += 2 {
 		val, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
+		// Reject non-finite values: go test never emits them, and NaN/Inf
+		// cannot be encoded into the JSON run document.
+		if err != nil || math.IsNaN(val) || math.IsInf(val, 0) {
 			return Result{}, false
 		}
 		switch fields[i+1] {

@@ -121,7 +121,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		defer journal.Close()
 		rec.Journal = journal
-		if rec.Registry == nil {
+		if rec.Reg() == nil {
 			rec.Registry = obs.NewRegistry()
 		}
 		journal.Write(struct {
@@ -174,12 +174,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 	prov.WallMS = float64(time.Since(start).Microseconds()) / 1e3
 
-	if rec != nil && rec.Journal != nil {
-		rec.Journal.Write(struct {
+	if j := rec.Jour(); j != nil {
+		j.Write(struct {
 			Kind   string  `json:"kind"`
 			WallMS float64 `json:"wall_ms"`
 		}{Kind: "run_end", WallMS: prov.WallMS})
-		if err := rec.Journal.Err(); err != nil {
+		if err := j.Err(); err != nil {
 			return err
 		}
 	}
@@ -190,7 +190,7 @@ func run(args []string, stdout io.Writer) error {
 			Results:    map[string]any{"experiments": results},
 		}
 		if rec != nil {
-			snap := rec.Registry.Snapshot()
+			snap := rec.Reg().Snapshot()
 			doc.Metrics = &snap
 		}
 		if err := doc.WriteJSON(stdout); err != nil {

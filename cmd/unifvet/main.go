@@ -1,0 +1,89 @@
+// Command unifvet runs the repository's determinism & safety lint suite
+// (internal/analysis) over the named packages, in the manner of go vet:
+//
+//	go run ./cmd/unifvet ./...
+//	go run ./cmd/unifvet -json ./... > vet.json
+//
+// The five analyzers — detrand, wallclock, maporder, sharedrng, obsnil —
+// enforce the invariants the benchmark harness's byte-for-byte
+// reproducibility rests on; see DESIGN.md §3.8. Individual findings are
+// suppressed with `//unifvet:allow <analyzer> <reason>` on the offending
+// line or the line above; the reason is mandatory.
+//
+// Exit status: 0 when clean, 1 when any finding (or malformed directive)
+// is reported, 2 when packages fail to load. With -json the findings are
+// embedded in the shared obs run-document envelope (the same schema
+// emitted by unifbench/congestsim/gaptest -json), so CI tooling parses one
+// format for experiments, benchmarks, and lint results alike.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/unifdist/unifdist/internal/analysis"
+	"github.com/unifdist/unifdist/internal/obs"
+)
+
+func main() {
+	code, err := run(os.Args[1:], ".", os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unifvet:", err)
+	}
+	os.Exit(code)
+}
+
+// run loads the packages matched by the flag-stripped patterns relative to
+// dir, applies the analyzer suite, and renders findings to stdout. It
+// returns the process exit code.
+func run(args []string, dir string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("unifvet", flag.ContinueOnError)
+	jsonFlag := fs.Bool("json", false, "emit findings as an obs run-document JSON")
+	listFlag := fs.Bool("analyzers", false, "list the analyzer suite and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	analyzers := analysis.All()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+
+	pkgs, err := analysis.Load(dir, patterns)
+	if err != nil {
+		return 2, err
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		return 2, err
+	}
+
+	if *jsonFlag {
+		doc := obs.Document{
+			Provenance: obs.CollectProvenance("unifvet", "", 0, patterns),
+			Results: map[string]any{
+				"findings": diags,
+				"clean":    len(diags) == 0,
+			},
+		}
+		if err := doc.WriteJSON(stdout); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}

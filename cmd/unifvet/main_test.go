@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot locates the repository root via go env GOMOD.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		t.Fatal("not in a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+// TestSelfClean is the enforcement test: the repository's own tree must
+// stay unifvet-clean. A failure here means a determinism invariant
+// regressed (or needs an explicit //unifvet:allow with a reason).
+func TestSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	var buf bytes.Buffer
+	code, err := run([]string{"./..."}, moduleRoot(t), &buf)
+	if err != nil {
+		t.Fatalf("unifvet: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("unifvet found violations in the tree:\n%s", buf.String())
+	}
+}
+
+// writeTempModule lays down a self-contained module with the given file.
+func writeTempModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpvet\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestInjectedViolation verifies the driver exits non-zero when a
+// violation is present.
+func TestInjectedViolation(t *testing.T) {
+	dir := writeTempModule(t, `package main
+
+import "math/rand"
+
+func main() { _ = rand.Intn(6) }
+`)
+	var buf bytes.Buffer
+	code, err := run([]string{"./..."}, dir, &buf)
+	if err != nil {
+		t.Fatalf("unifvet: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; output:\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "[detrand]") {
+		t.Fatalf("expected a detrand finding, got:\n%s", buf.String())
+	}
+}
+
+// TestSuppressedViolation verifies the allow directive flows through the
+// driver end to end.
+func TestSuppressedViolation(t *testing.T) {
+	dir := writeTempModule(t, `package main
+
+import "math/rand" //unifvet:allow detrand test fixture justifies itself
+
+func main() { _ = rand.Intn(6) }
+`)
+	var buf bytes.Buffer
+	code, err := run([]string{"./..."}, dir, &buf)
+	if err != nil {
+		t.Fatalf("unifvet: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; output:\n%s", code, buf.String())
+	}
+}
+
+// TestReasonlessDirectiveFails verifies a directive without a reason is
+// itself a finding.
+func TestReasonlessDirectiveFails(t *testing.T) {
+	dir := writeTempModule(t, `package main
+
+import "math/rand" //unifvet:allow detrand
+
+func main() { _ = rand.Intn(6) }
+`)
+	var buf bytes.Buffer
+	code, err := run([]string{"./..."}, dir, &buf)
+	if err != nil {
+		t.Fatalf("unifvet: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; output:\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "needs a trailing reason") {
+		t.Fatalf("expected a directive finding, got:\n%s", buf.String())
+	}
+}
+
+// TestJSONEnvelope verifies -json emits the shared obs run-document shape.
+func TestJSONEnvelope(t *testing.T) {
+	dir := writeTempModule(t, `package main
+
+import "math/rand"
+
+func main() { _ = rand.Intn(6) }
+`)
+	var buf bytes.Buffer
+	code, err := run([]string{"-json", "./..."}, dir, &buf)
+	if err != nil {
+		t.Fatalf("unifvet: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	var doc struct {
+		Provenance struct {
+			Tool string `json:"tool"`
+		} `json:"provenance"`
+		Results struct {
+			Clean    bool `json:"clean"`
+			Findings []struct {
+				Analyzer string `json:"analyzer"`
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Message  string `json:"message"`
+			} `json:"findings"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("decode run document: %v\n%s", err, buf.String())
+	}
+	if doc.Provenance.Tool != "unifvet" {
+		t.Errorf("provenance.tool = %q, want unifvet", doc.Provenance.Tool)
+	}
+	if doc.Results.Clean {
+		t.Error("clean = true with findings present")
+	}
+	if len(doc.Results.Findings) == 0 || doc.Results.Findings[0].Analyzer != "detrand" {
+		t.Errorf("findings = %+v, want a detrand finding", doc.Results.Findings)
+	}
+}
+
+// TestAnalyzersFlag lists the suite.
+func TestAnalyzersFlag(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run([]string{"-analyzers"}, ".", &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("run: code=%d err=%v", code, err)
+	}
+	for _, name := range []string{"detrand", "wallclock", "maporder", "sharedrng", "obsnil"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("analyzer list missing %s:\n%s", name, buf.String())
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// DetRand forbids the standard library's global random number generators.
+// Every source of randomness in trial paths must be an internal/rng
+// generator seeded from the run's declared seed — a single math/rand call
+// makes experiment tables irreproducible without leaving any trace in the
+// output. Packages whose import path contains an "rng" segment are exempt
+// (the deterministic generator itself may reference the stdlib for, e.g.,
+// compatibility shims), as are _test.go files.
+//
+// Independently of the import ban, seeding any source from the wall clock
+// (rand.NewSource(time.Now()…), rand.Seed(time.Now()…), rand.New(
+// rand.NewSource(time.Now()…))) is flagged even inside exempt packages:
+// a time-seeded stream is unreproducible no matter where it lives.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand randomness; require internal/rng",
+	Run:  runDetRand,
+}
+
+func runDetRand(pass *Pass) error {
+	exemptPath := HasPathSegment(pass.Path, "rng")
+	for _, f := range pass.Files {
+		if IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		if !exemptPath {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					pass.Reportf(imp.Pos(), "import of %s: derive randomness from internal/rng generators (rng.New / rng.At) so trials replay bit-for-bit", path)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch CalleeIn(call, pass.TypesInfo, "math/rand") {
+			case "NewSource", "Seed", "New":
+				if callContainsTimeNow(call, pass) {
+					pass.Reportf(call.Pos(), "wall-clock-seeded rand source: seed from the run's declared seed via internal/rng instead of time.Now")
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// callContainsTimeNow reports whether any argument subtree of call invokes
+// time.Now.
+func callContainsTimeNow(call *ast.CallExpr, pass *Pass) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok {
+				if CalleeIn(inner, pass.TypesInfo, "time") == "Now" {
+					found = true
+					return false
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/unifdist/unifdist/internal/analysis"
+	"github.com/unifdist/unifdist/internal/analysis/analysistest"
+)
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, analysis.DetRand,
+		"detrand/bad",
+		"detrand/allowed",
+		"detrand/exempt/rng",
+	)
+}

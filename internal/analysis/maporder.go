@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose body lets iteration order escape
+// into ordered output: appending to a slice declared outside the loop that
+// is never subsequently sorted in the same function, or directly emitting
+// (table rows, journal events, JSON encoding, writer output) from inside
+// the loop. Go randomizes map iteration order per run, so either pattern
+// makes tables and run documents differ between identical runs — the exact
+// byte-for-byte property CI diffs. Writing into another map, or appending
+// to a slice that is sorted before use, is fine.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid map iteration order leaking into slices, tables, or JSON/journal output",
+	Run:  runMapOrder,
+}
+
+// emitNames are method/function names that move data toward ordered output.
+// Calling any of these inside a map-range body is an order leak regardless
+// of later sorting, because the emission itself happens in map order.
+var emitNames = map[string]bool{
+	"Write": true, "WriteString": true, "Encode": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+	"AddRow": true, "AddNote": true, "Log": true,
+}
+
+// sortFuncs maps package segment → function names that establish a
+// deterministic order for a previously appended slice.
+var sortFuncs = map[string]map[string]bool{
+	"sort":   {"Strings": true, "Ints": true, "Float64s": true, "Slice": true, "SliceStable": true, "Sort": true, "Stable": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		if IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkMapOrderFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapOrderFunc inspects one function body. Nested function literals
+// are skipped here — the outer ast.Inspect visits them as their own
+// function scope.
+func checkMapOrderFunc(pass *Pass, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	sortedAt := map[types.Object][]token.Pos{}
+	walkSameFunc(body, func(n ast.Node) {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[s.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					ranges = append(ranges, s)
+				}
+			}
+		case *ast.CallExpr:
+			if obj := sortedArg(pass, s); obj != nil {
+				sortedAt[obj] = append(sortedAt[obj], s.Pos())
+			}
+		}
+	})
+	for _, rs := range ranges {
+		checkMapRange(pass, rs, sortedAt)
+	}
+}
+
+// walkSameFunc visits nodes in body without descending into nested
+// function literals.
+func walkSameFunc(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// sortedArg returns the object of the slice being sorted when call is a
+// sort.*/slices.Sort* invocation with an identifiable first argument.
+func sortedArg(pass *Pass, call *ast.CallExpr) types.Object {
+	for seg, names := range sortFuncs {
+		if names[CalleeIn(call, pass.TypesInfo, seg)] {
+			if len(call.Args) == 0 {
+				return nil
+			}
+			return exprObject(pass, call.Args[0])
+		}
+	}
+	return nil
+}
+
+// exprObject resolves an expression to the object of its root variable:
+// the base identifier for selectors, index expressions, and dereferences
+// (append to dh.Buckets is attributed to dh, so a loop-local struct does
+// not inherit its field's package-level declaration position).
+func exprObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x]
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+					return pass.TypesInfo.Uses[x.Sel] // package-qualified name
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkMapRange reports order leaks out of one map-range statement.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, sortedAt map[types.Object][]token.Pos) {
+	walkSameFunc(rs.Body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		// append(target, …) where target is declared outside the loop.
+		if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "append" {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+				target := exprObject(pass, call.Args[0])
+				if target == nil || target.Pos() == token.NoPos {
+					return
+				}
+				if target.Pos() >= rs.Pos() && target.Pos() < rs.End() {
+					return // loop-local accumulator; order cannot escape
+				}
+				if laterSorted(sortedAt[target], rs.End()) {
+					return
+				}
+				pass.Reportf(call.Pos(), "append to %q inside range over map: iteration order is random per run — collect keys, sort, then iterate (or sort %q before use)", target.Name(), target.Name())
+			}
+			return
+		}
+		// Direct emission in map order.
+		if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel && emitNames[sel.Sel.Name] {
+			if pass.TypesInfo.Uses[sel.Sel] != nil {
+				pass.Reportf(call.Pos(), "%s call inside range over map emits in random iteration order — collect keys, sort, then emit", sel.Sel.Name)
+			}
+		}
+	})
+}
+
+// laterSorted reports whether any sort position follows end.
+func laterSorted(positions []token.Pos, end token.Pos) bool {
+	for _, p := range positions {
+		if p > end {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ObsNil flags reads of an obs.Recorder's Registry or Journal fields
+// outside package obs itself. The telemetry layer's contract is that a nil
+// *Recorder (telemetry disabled) is always safe to use — but that only
+// holds through the nil-safe accessors Reg(), Jour(), and Log(); a direct
+// field access like rec.Journal.Write(e) panics the moment telemetry is
+// off. Writes (rec.Registry = …) are construction and stay allowed, as do
+// composite literals (&obs.Recorder{Registry: …}).
+var ObsNil = &Analyzer{
+	Name: "obsnil",
+	Doc:  "forbid direct obs.Recorder field reads; use the nil-safe Reg/Jour/Log accessors",
+	Run:  runObsNil,
+}
+
+var obsNilAccessor = map[string]string{
+	"Registry": "Reg()",
+	"Journal":  "Jour()",
+}
+
+func runObsNil(pass *Pass) error {
+	if HasPathSegment(pass.Path, "obs") {
+		return nil // the obs package implements the accessors
+	}
+	for _, f := range pass.Files {
+		if IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		assignedSels := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok {
+						assignedSels[sel] = true
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			accessor, watched := obsNilAccessor[sel.Sel.Name]
+			if !watched || assignedSels[sel] {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sel.X]
+			if !ok || !NamedFrom(tv.Type, "obs", "Recorder") {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "direct read of obs.Recorder.%s panics when telemetry is disabled (nil recorder): use the nil-safe %s accessor", sel.Sel.Name, accessor)
+			return true
+		})
+	}
+	return nil
+}

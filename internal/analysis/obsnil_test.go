@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/unifdist/unifdist/internal/analysis"
+	"github.com/unifdist/unifdist/internal/analysis/analysistest"
+)
+
+func TestObsNil(t *testing.T) {
+	analysistest.Run(t, analysis.ObsNil,
+		"obsnil/bad",
+		"obsnil/good",
+	)
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SharedRNG flags an rng generator crossing a goroutine boundary: a
+// *rng.RNG captured by a `go func(){…}` closure, or passed as an argument
+// in a `go` statement. Generators are single-threaded state machines —
+// sharing one across goroutines is both a data race and a determinism
+// break, because the interleaving decides who draws which variate. Each
+// worker must derive its own generator inside the goroutine via rng.At
+// (or rng.New with a worker-indexed seed), which is also what makes
+// results worker-count-invariant.
+var SharedRNG = &Analyzer{
+	Name: "sharedrng",
+	Doc:  "forbid *rng.RNG values crossing goroutine boundaries; derive per-worker generators via rng.At",
+	Run:  runSharedRNG,
+}
+
+func runSharedRNG(pass *Pass) error {
+	for _, f := range pass.Files {
+		if IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, g)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoStmt(pass *Pass, g *ast.GoStmt) {
+	call := g.Call
+	// Generator passed as an argument to the spawned function.
+	for _, arg := range call.Args {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && isRNG(tv.Type) {
+			pass.Reportf(arg.Pos(), "*rng.RNG passed into goroutine: derive a per-worker generator inside the goroutine via rng.At(base, worker)")
+		}
+	}
+	// Generator captured by a goroutine closure.
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || reported[obj] || !isRNG(obj.Type()) {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		// Declared outside the func literal ⇒ captured.
+		if obj.Pos() < lit.Pos() || obj.Pos() >= lit.End() {
+			reported[obj] = true
+			pass.Reportf(id.Pos(), "*rng.RNG %q captured by goroutine closure: derive a per-worker generator inside the goroutine via rng.At(base, worker)", id.Name)
+		}
+		return true
+	})
+}
+
+// isRNG reports whether t is *rng.RNG (or rng.RNG) from a package whose
+// path ends in "rng".
+func isRNG(t types.Type) bool {
+	return t != nil && NamedFrom(t, "rng", "RNG")
+}

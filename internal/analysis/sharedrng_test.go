@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/unifdist/unifdist/internal/analysis"
+	"github.com/unifdist/unifdist/internal/analysis/analysistest"
+)
+
+func TestSharedRNG(t *testing.T) {
+	analysistest.Run(t, analysis.SharedRNG,
+		"sharedrng/bad",
+		"sharedrng/good",
+	)
+}

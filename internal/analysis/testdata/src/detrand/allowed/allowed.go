@@ -1,0 +1,8 @@
+// Package allowed exercises detrand suppression: the directive with a
+// reason keeps the import quiet.
+package allowed
+
+import "math/rand" //unifvet:allow detrand fixture demonstrates a justified suppression
+
+// Draw uses the suppressed import.
+func Draw() int { return rand.Intn(3) }

@@ -1,0 +1,14 @@
+// Package bad draws from the global math/rand generators, which detrand
+// forbids outside rng-segment packages.
+package bad
+
+import (
+	"math/rand" // want "import of math/rand: derive randomness from internal/rng"
+
+	randv2 "math/rand/v2" // want "import of math/rand/v2: derive randomness from internal/rng"
+)
+
+// Draw mixes both generations of the stdlib global generator.
+func Draw() int {
+	return rand.Intn(10) + int(randv2.Uint64()%3)
+}

@@ -1,0 +1,24 @@
+// Package rng sits under an "rng" path segment, so the math/rand import
+// ban is lifted — but seeding any source from the wall clock stays flagged
+// even here.
+package rng
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ClockSeeded is unreproducible: the stream depends on when it was made.
+func ClockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "wall-clock-seeded rand source"
+}
+
+// FixedSeeded is fine: the seed is declared.
+func FixedSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// Suppressed demonstrates a justified exemption.
+func Suppressed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) //unifvet:allow detrand fixture demonstrates a justified suppression
+}

@@ -1,0 +1,12 @@
+// Package allowed exercises maporder suppression.
+package allowed
+
+// Unordered is consumed commutatively, so the order leak is harmless; the
+// directive records that judgment.
+func Unordered(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) //unifvet:allow maporder fixture consumer folds with a commutative sum
+	}
+	return out
+}

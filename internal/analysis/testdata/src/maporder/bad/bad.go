@@ -1,0 +1,31 @@
+// Package bad leaks map iteration order into ordered output.
+package bad
+
+import "fmt"
+
+// Keys appends in map order and never sorts.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to .out. inside range over map"
+	}
+	return out
+}
+
+// Emit prints rows in map order.
+func Emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "Println call inside range over map"
+	}
+}
+
+// Fields leaks through a struct-field accumulator declared outside the
+// loop.
+type Fields struct{ Rows []string }
+
+// Collect appends to an outer struct field.
+func (f *Fields) Collect(m map[string]int) {
+	for k := range m {
+		f.Rows = append(f.Rows, k) // want "append to .f. inside range over map"
+	}
+}

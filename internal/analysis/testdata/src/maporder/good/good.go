@@ -1,0 +1,46 @@
+// Package good shows the sanctioned patterns around map iteration.
+package good
+
+import "sort"
+
+// SortedKeys is the canonical idiom: collect, sort, then use.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Invert writes into another map — order-independent.
+func Invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// PerKey appends only to a loop-local accumulator.
+func PerKey(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		local := []int{}
+		for _, v := range vs {
+			local = append(local, v*2)
+		}
+		total += len(local)
+	}
+	return total
+}
+
+// SliceSorted sorts via sort.Slice after the loop.
+func SliceSorted(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}

@@ -1,0 +1,56 @@
+// Package obs is a minimal stand-in for internal/obs in obsnil fixtures:
+// the analyzer recognizes the Recorder type by name and the "obs" path
+// segment.
+package obs
+
+// Registry is a stub metrics registry.
+type Registry struct{ n int }
+
+// Snapshot returns a stub snapshot value (0 on nil).
+func (r *Registry) Snapshot() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Journal is a stub event journal.
+type Journal struct{ events int }
+
+// Write records one event (no-op on nil).
+func (j *Journal) Write(event any) {
+	if j == nil {
+		return
+	}
+	j.events++
+}
+
+// Recorder bundles the stub sinks; fields may be nil.
+type Recorder struct {
+	Registry *Registry
+	Journal  *Journal
+}
+
+// Reg is the nil-safe registry accessor.
+func (r *Recorder) Reg() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.Registry
+}
+
+// Jour is the nil-safe journal accessor.
+func (r *Recorder) Jour() *Journal {
+	if r == nil {
+		return nil
+	}
+	return r.Journal
+}
+
+// Log writes one event through the nil-safe path.
+func (r *Recorder) Log(event any) {
+	if r == nil {
+		return
+	}
+	r.Journal.Write(event)
+}

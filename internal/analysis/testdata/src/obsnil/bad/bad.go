@@ -1,0 +1,20 @@
+// Package bad bypasses the nil-safe recorder accessors; every read here
+// panics when telemetry is disabled.
+package bad
+
+import "obs"
+
+// Snapshot calls through the Registry field directly.
+func Snapshot(rec *obs.Recorder) int {
+	return rec.Registry.Snapshot() // want "direct read of obs.Recorder.Registry"
+}
+
+// Journal calls through the Journal field directly.
+func Journal(rec *obs.Recorder) {
+	rec.Journal.Write("event") // want "direct read of obs.Recorder.Journal"
+}
+
+// Leak returns the raw field.
+func Leak(rec *obs.Recorder) *obs.Journal {
+	return rec.Journal // want "direct read of obs.Recorder.Journal"
+}

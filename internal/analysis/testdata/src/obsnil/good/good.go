@@ -1,0 +1,30 @@
+// Package good uses the nil-safe accessors; construction writes stay
+// allowed.
+package good
+
+import "obs"
+
+// Build constructs a recorder: composite literals and field assignments
+// are not reads.
+func Build() *obs.Recorder {
+	rec := &obs.Recorder{Registry: &obs.Registry{}}
+	rec.Journal = &obs.Journal{}
+	if rec.Reg() == nil {
+		rec.Registry = &obs.Registry{}
+	}
+	return rec
+}
+
+// Use goes through Reg/Jour/Log.
+func Use(rec *obs.Recorder) int {
+	rec.Log("event")
+	if j := rec.Jour(); j != nil {
+		j.Write("event")
+	}
+	return rec.Reg().Snapshot()
+}
+
+// Suppressed demonstrates a justified direct read.
+func Suppressed(rec *obs.Recorder) int {
+	return rec.Registry.Snapshot() //unifvet:allow obsnil fixture caller guarantees a live recorder
+}

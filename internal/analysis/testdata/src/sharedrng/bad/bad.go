@@ -1,0 +1,28 @@
+// Package bad shares rng generators across goroutine boundaries.
+package bad
+
+import "rng"
+
+// Capture leaks a generator into a goroutine closure.
+func Capture() {
+	g := rng.New(1)
+	done := make(chan struct{})
+	go func() {
+		_ = g.Uint64() // want "rng.RNG .g. captured by goroutine closure"
+		close(done)
+	}()
+	<-done
+}
+
+func worker(g *rng.RNG, done chan<- struct{}) {
+	_ = g.Uint64()
+	close(done)
+}
+
+// Pass hands a generator to a spawned function.
+func Pass() {
+	g := rng.New(2)
+	done := make(chan struct{})
+	go worker(g, done) // want "rng.RNG passed into goroutine"
+	<-done
+}

@@ -1,0 +1,39 @@
+// Package good derives per-worker generators inside each goroutine — the
+// pattern that keeps results identical at any worker count.
+package good
+
+import "rng"
+
+// Derive gives each worker its own indexed child generator.
+func Derive(base uint64) {
+	done := make(chan struct{}, 4)
+	for w := uint64(0); w < 4; w++ {
+		w := w
+		go func() {
+			g := rng.At(base, w)
+			_ = g.Uint64()
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+}
+
+// Sequential use of a generator never crosses a goroutine.
+func Sequential(base uint64) uint64 {
+	g := rng.New(base)
+	return g.Uint64()
+}
+
+// Suppressed demonstrates a justified handoff: ownership transfers and the
+// parent never touches g again.
+func Suppressed() {
+	g := rng.New(3)
+	done := make(chan struct{})
+	go func() {
+		_ = g.Uint64() //unifvet:allow sharedrng fixture goroutine is the sole user after handoff
+		close(done)
+	}()
+	<-done
+}

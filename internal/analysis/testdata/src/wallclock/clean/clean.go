@@ -1,0 +1,10 @@
+// Package clean has no trial-path segment in its import path, so
+// wall-clock reads are unrestricted here.
+package clean
+
+import "time"
+
+// Stamp may read the clock freely outside trial-path packages.
+func Stamp() string {
+	return time.Now().Format(time.RFC3339)
+}

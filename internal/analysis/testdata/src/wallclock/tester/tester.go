@@ -1,0 +1,21 @@
+// Package tester sits under a "tester" path segment, which wallclock
+// treats as a trial-path package: no wall-clock reads without a directive.
+package tester
+
+import "time"
+
+// Trial reads the clock on the trial path.
+func Trial() int64 {
+	now := time.Now() // want "time.Now in trial-path package"
+	return now.UnixNano()
+}
+
+// Elapsed measures with time.Since.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in trial-path package"
+}
+
+// Timed demonstrates the sanctioned observability exemption.
+func Timed() time.Time {
+	return time.Now() //unifvet:allow wallclock fixture demonstrates the observability-timing exemption
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallClockPackages are the import-path segments naming packages on the
+// Monte-Carlo trial path. Reading the wall clock there couples results (or
+// result-adjacent state) to real time; the only legitimate use is
+// observability timing, which must carry a //unifvet:allow wallclock
+// directive with a reason.
+var wallClockPackages = []string{"tester", "zeroround", "dist", "experiment"}
+
+// WallClock flags time.Now and time.Since in trial-path packages
+// (internal/{tester,zeroround,dist,experiment}). Test files are exempt.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/time.Since in trial-path packages (internal/{" + strings.Join(wallClockPackages, ",") + "})",
+	Run:  runWallClock,
+}
+
+func runWallClock(pass *Pass) error {
+	restricted := false
+	for _, seg := range wallClockPackages {
+		if HasPathSegment(pass.Path, seg) {
+			restricted = true
+			break
+		}
+	}
+	if !restricted {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch name := CalleeIn(call, pass.TypesInfo, "time"); name {
+			case "Now", "Since":
+				pass.Reportf(call.Pos(), "time.%s in trial-path package %s: trial results must not depend on the wall clock (annotate observability timing with %s wallclock <reason>)", name, pass.Path, DirectivePrefix)
+			}
+			return true
+		})
+	}
+	return nil
+}

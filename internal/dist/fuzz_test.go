@@ -6,6 +6,79 @@ import (
 	"github.com/unifdist/unifdist/internal/rng"
 )
 
+// FuzzCollisionScratch cross-checks every CollisionScratch strategy
+// against a reference map implementation: for random sample vectors, the
+// epoch-stamp path (small domains), the sort-buffer path (domains above
+// maxStampDomain), and the package-level entry points must all agree on
+// collision presence, colliding-pair counts, and distinct counts. The
+// scratch is reused across rounds inside one fuzz invocation, so epoch
+// reuse and buffer growth are exercised too.
+func FuzzCollisionScratch(f *testing.F) {
+	f.Add(uint64(1), uint16(8), uint8(16), uint8(3))
+	f.Add(uint64(42), uint16(1), uint8(1), uint8(1))
+	f.Add(uint64(7), uint16(1000), uint8(255), uint8(5))
+	f.Add(uint64(0), uint16(2), uint8(64), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, domainRaw uint16, countRaw uint8, rounds uint8) {
+		n := int(domainRaw)%4096 + 1
+		count := int(countRaw)
+		sc := NewCollisionScratch()
+		r := rng.New(seed)
+		for round := 0; round < int(rounds)%8+1; round++ {
+			samples := make([]int, count)
+			for i := range samples {
+				samples[i] = r.Intn(n)
+			}
+			// Reference: count colliding pairs Σ C(c_i, 2) with a map.
+			freq := map[int]int{}
+			for _, s := range samples {
+				freq[s]++
+			}
+			wantPairs := 0
+			for _, c := range freq {
+				wantPairs += c * (c - 1) / 2
+			}
+			wantHas := wantPairs > 0
+			wantDistinct := len(freq)
+
+			// Small domain: stamp strategy.
+			if got := sc.HasCollision(n, samples); got != wantHas {
+				t.Fatalf("stamp HasCollision(n=%d, %v) = %v, want %v", n, samples, got, wantHas)
+			}
+			if got := sc.CountCollisions(n, samples); got != wantPairs {
+				t.Fatalf("stamp CountCollisions(n=%d, %v) = %d, want %d", n, samples, got, wantPairs)
+			}
+			if got := sc.CountDistinct(n, samples); got != wantDistinct {
+				t.Fatalf("stamp CountDistinct(n=%d, %v) = %d, want %d", n, samples, got, wantDistinct)
+			}
+
+			// Large domain: the same samples are valid in a domain above the
+			// stamp bound, forcing the sort-buffer strategy.
+			big := maxStampDomain + n
+			if got := sc.HasCollision(big, samples); got != wantHas {
+				t.Fatalf("sort HasCollision(n=%d, %v) = %v, want %v", big, samples, got, wantHas)
+			}
+			if got := sc.CountCollisions(big, samples); got != wantPairs {
+				t.Fatalf("sort CountCollisions(n=%d, %v) = %d, want %d", big, samples, got, wantPairs)
+			}
+			if got := sc.CountDistinct(big, samples); got != wantDistinct {
+				t.Fatalf("sort CountDistinct(n=%d, %v) = %d, want %d", big, samples, got, wantDistinct)
+			}
+
+			// Package-level entry points and the nil scratch must agree too.
+			if got := HasCollision(samples); got != wantHas {
+				t.Fatalf("HasCollision(%v) = %v, want %v", samples, got, wantHas)
+			}
+			if got := CountCollisions(samples); got != wantPairs {
+				t.Fatalf("CountCollisions(%v) = %d, want %d", samples, got, wantPairs)
+			}
+			var nilSc *CollisionScratch
+			if got := nilSc.CountCollisions(n, samples); got != wantPairs {
+				t.Fatalf("nil scratch CountCollisions(%v) = %d, want %d", samples, got, wantPairs)
+			}
+		}
+	})
+}
+
 // FuzzNewHistogram ensures arbitrary mass vectors either error out or
 // produce a normalized distribution whose sampler stays in range.
 func FuzzNewHistogram(f *testing.F) {

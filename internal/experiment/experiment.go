@@ -290,8 +290,8 @@ func (c *RunContext) SimTracer(id string, budget int) simnet.Tracer {
 	if reg := c.Obs.Reg(); reg != nil {
 		tracers = append(tracers, simnet.NewMetricsTracer(reg, budget))
 	}
-	if c.Obs.Journal != nil {
-		tracers = append(tracers, simnet.NewJSONLTracer(c.Obs.Journal, id, budget))
+	if j := c.Obs.Jour(); j != nil {
+		tracers = append(tracers, simnet.NewJSONLTracer(j, id, budget))
 	}
 	return simnet.MultiTracer(tracers...)
 }
@@ -346,9 +346,10 @@ func (e Experiment) Execute(ctx *RunContext) (*RunResult, error) {
 	reg := ctx.Registry()
 	before := reg.Snapshot()
 	ctx.Log(StartEvent{Kind: "experiment_start", ID: e.ID, Mode: ctx.Mode.String(), Seed: ctx.Seed})
+	//unifvet:allow wallclock experiment duration is telemetry (notes/journal), never a table value
 	start := time.Now()
 	tbl, err := e.Run(ctx)
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //unifvet:allow wallclock experiment duration is telemetry (notes/journal), never a table value
 	reg.Counter("experiment.runs").Inc()
 	reg.Histogram("experiment.duration_ns", obs.LatencyBuckets()).Observe(elapsed.Nanoseconds())
 	end := EndEvent{Kind: "experiment_end", ID: e.ID, DurationMS: float64(elapsed.Microseconds()) / 1e3}

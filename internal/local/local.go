@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/unifdist/unifdist/internal/dist"
 	"github.com/unifdist/unifdist/internal/graph"
@@ -413,9 +414,16 @@ func (nd *gatherNode) routeSamples() []simnet.PortMessage {
 		byPort[route.port] = append(byPort[route.port], s)
 	}
 	nd.pendingOut = stuck
-	out := make([]simnet.PortMessage, 0, len(byPort))
-	for port, samples := range byPort {
-		out = append(out, simnet.PortMessage{Port: port, Payload: encodeSamples(samples)})
+	// Emit in sorted port order: byPort is a map, and its iteration order
+	// must not reach the message stream (trace/journal byte-determinism).
+	ports := make([]int, 0, len(byPort))
+	for port := range byPort {
+		ports = append(ports, port)
+	}
+	sort.Ints(ports)
+	out := make([]simnet.PortMessage, 0, len(ports))
+	for _, port := range ports {
+		out = append(out, simnet.PortMessage{Port: port, Payload: encodeSamples(byPort[port])})
 	}
 	return out
 }

@@ -12,6 +12,7 @@ package local
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"github.com/unifdist/unifdist/internal/graph"
 	"github.com/unifdist/unifdist/internal/simnet"
@@ -108,6 +109,18 @@ type lubyNode struct {
 	announced bool
 }
 
+// alivePorts returns the still-contending neighbor ports in sorted order,
+// so broadcasts never depend on map iteration order (trace/journal
+// byte-determinism).
+func (nd *lubyNode) alivePorts() []int {
+	ports := make([]int, 0, len(nd.alive))
+	for p := range nd.alive {
+		ports = append(ports, p)
+	}
+	sort.Ints(ports)
+	return ports
+}
+
 // Init implements simnet.Node.
 func (nd *lubyNode) Init(ctx *simnet.Context) {
 	nd.ctx = ctx
@@ -131,7 +144,7 @@ func (nd *lubyNode) Round(in []simnet.PortMessage) ([]simnet.PortMessage, bool) 
 			payload[0] = lubyMsgValue
 			binary.LittleEndian.PutUint64(payload[1:], nd.value)
 			binary.LittleEndian.PutUint32(payload[9:], uint32(nd.ctx.ID))
-			for p := range nd.alive {
+			for _, p := range nd.alivePorts() {
 				out = append(out, simnet.PortMessage{Port: p, Payload: payload})
 			}
 		}
@@ -152,7 +165,7 @@ func (nd *lubyNode) Round(in []simnet.PortMessage) ([]simnet.PortMessage, bool) 
 			}
 			if win {
 				nd.state = lubyInMIS
-				for p := range nd.alive {
+				for _, p := range nd.alivePorts() {
 					out = append(out, simnet.PortMessage{Port: p, Payload: []byte{lubyMsgJoin}})
 				}
 				nd.announced = true
@@ -170,7 +183,7 @@ func (nd *lubyNode) Round(in []simnet.PortMessage) ([]simnet.PortMessage, bool) 
 		}
 		if nd.state == lubyContender && joined {
 			nd.state = lubyDead
-			for p := range nd.alive {
+			for _, p := range nd.alivePorts() {
 				out = append(out, simnet.PortMessage{Port: p, Payload: []byte{lubyMsgLeave}})
 			}
 			nd.announced = true

@@ -98,6 +98,16 @@ func (r *Recorder) Reg() *Registry {
 	return r.Registry
 }
 
+// Jour returns the recorder's journal (nil when disabled). Like Reg, it is
+// safe on a nil receiver — callers must use it instead of reading the
+// Journal field directly (enforced by the obsnil analyzer).
+func (r *Recorder) Jour() *Journal {
+	if r == nil {
+		return nil
+	}
+	return r.Journal
+}
+
 // Log writes one event to the recorder's journal (no-op when disabled).
 func (r *Recorder) Log(event any) {
 	if r == nil {

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -69,8 +70,20 @@ func TestNilJournalAndRecorder(t *testing.T) {
 	if rec.Reg() != nil {
 		t.Error("nil recorder returned a registry")
 	}
+	if rec.Jour() != nil {
+		t.Error("nil recorder returned a journal")
+	}
 	if rec.Enabled() {
 		t.Error("nil recorder enabled")
+	}
+	// Jour round-trips an attached journal and stays usable directly.
+	attached := &Recorder{Journal: NewJournal(io.Discard)}
+	if attached.Jour() == nil {
+		t.Error("attached recorder hid its journal")
+	}
+	attached.Jour().Write(testEvent{Kind: "y"})
+	if err := attached.Jour().Err(); err != nil {
+		t.Fatal(err)
 	}
 }
 
