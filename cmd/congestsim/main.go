@@ -7,7 +7,7 @@
 //
 //	congestsim [-model congest|local] [-topology random|line|ring|grid|star|tree]
 //	           [-k 2000] [-n 4096] [-eps 1.0] [-dist uniform|twobump|zipf|halfsupport]
-//	           [-seed 1] [-packaging] [-tau 0] [-radius 0]
+//	           [-seed 1] [-packaging] [-tau 0] [-radius 0] [-workers 0]
 //	           [-trace] [-json] [-journal run.jsonl]
 //
 // -json replaces the human-readable summary with the same machine-readable
@@ -82,6 +82,7 @@ func run(args []string, stdout io.Writer) error {
 		pkgOnly  = fs.Bool("packaging", false, "run τ-token packaging only (Theorem 5.1)")
 		tau      = fs.Int("tau", 0, "package size (0 = solver's choice)")
 		radius   = fs.Int("radius", 0, "LOCAL gathering radius (0 = solver's choice)")
+		workers  = fs.Int("workers", 0, "simulator worker-pool size for the CONGEST model (0 = GOMAXPROCS); output is identical at any value")
 		trace    = fs.Bool("trace", false, "print a per-round traffic summary (CONGEST model)")
 		jsonFlag = fs.Bool("json", false, "emit a machine-readable run document instead of text")
 		jrnlFlag = fs.String("journal", "", "write per-round events to this JSONL file")
@@ -133,7 +134,7 @@ func run(args []string, stdout io.Writer) error {
 	var results map[string]any
 	switch *model {
 	case "congest":
-		results, err = runCongest(g, tokens, *n, *k, *eps, *tau, *pkgOnly, s, r)
+		results, err = runCongest(g, tokens, *n, *k, *eps, *tau, *workers, *pkgOnly, s, r)
 	case "local":
 		results, err = runLocal(g, tokens, *n, *k, *eps, *radius, s, r)
 	default:
@@ -169,7 +170,7 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-func runCongest(g *graph.Graph, tokens []uint64, n, k int, eps float64, tau int, pkgOnly bool, s *sinks, r *rng.RNG) (map[string]any, error) {
+func runCongest(g *graph.Graph, tokens []uint64, n, k int, eps float64, tau, workers int, pkgOnly bool, s *sinks, r *rng.RNG) (map[string]any, error) {
 	tracer := s.tracer("congestsim", congest.Bandwidth())
 	dumpTrace := func() error {
 		if s.summary == nil || s.out == nil {
@@ -182,7 +183,7 @@ func runCongest(g *graph.Graph, tokens []uint64, n, k int, eps float64, tau int,
 		if tau == 0 {
 			tau = 8
 		}
-		res, err := congest.RunTokenPackagingTraced(g, tokens, tau, r.Uint64(), tracer)
+		res, err := congest.RunTokenPackagingTracedWorkers(g, tokens, tau, r.Uint64(), tracer, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -221,7 +222,7 @@ func runCongest(g *graph.Graph, tokens []uint64, n, k int, eps float64, tau int,
 	}
 	s.printf("params: τ=%d, T=%d, δ=%.4g, feasible=%v, calibrated=%v\n",
 		p.Tau, p.T, p.Delta, p.Feasible, p.Calibrated)
-	res, err := congest.RunUniformityTraced(g, tokens, p, r.Uint64(), tracer)
+	res, err := congest.RunUniformityTracedWorkers(g, tokens, p, r.Uint64(), tracer, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -17,3 +17,7 @@ func (r *RNG) Uint64() uint64 {
 	r.s += 0x9e3779b97f4a7c15
 	return r.s
 }
+
+// SeedAt reseeds the generator in place to the index-th child stream of
+// base, the allocation-free variant of At used by chunked trial pools.
+func (r *RNG) SeedAt(base, index uint64) { r.s = base ^ (index + 1) }

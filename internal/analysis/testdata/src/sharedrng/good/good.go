@@ -2,7 +2,11 @@
 // pattern that keeps results identical at any worker count.
 package good
 
-import "rng"
+import (
+	"sync/atomic"
+
+	"rng"
+)
 
 // Derive gives each worker its own indexed child generator.
 func Derive(base uint64) {
@@ -36,4 +40,39 @@ func Suppressed() {
 		close(done)
 	}()
 	<-done
+}
+
+// ChunkedPool is the work-stealing trial-pool shape used by the parallel
+// estimators: workers claim chunks of trial indices from a shared atomic
+// counter and reseed a goroutine-local generator by index. No *RNG value
+// crosses a goroutine boundary, so the analyzer must stay silent.
+func ChunkedPool(base uint64, trials int) uint64 {
+	var next int64
+	results := make(chan uint64, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			gen := rng.New(0)
+			var local uint64
+			for {
+				lo := int(atomic.AddInt64(&next, 8)) - 8
+				if lo >= trials {
+					break
+				}
+				hi := lo + 8
+				if hi > trials {
+					hi = trials
+				}
+				for i := lo; i < hi; i++ {
+					gen.SeedAt(base, uint64(i))
+					local += gen.Uint64()
+				}
+			}
+			results <- local
+		}()
+	}
+	var total uint64
+	for i := 0; i < 4; i++ {
+		total += <-results
+	}
+	return total
 }

@@ -42,6 +42,13 @@ func RunTokenPackaging(g *graph.Graph, tokens []uint64, tau int, seed uint64) (P
 // RunTokenPackagingTraced is RunTokenPackaging with a simulator tracer
 // attached (see simnet.Tracer), used by cmd/congestsim -trace.
 func RunTokenPackagingTraced(g *graph.Graph, tokens []uint64, tau int, seed uint64, tracer simnet.Tracer) (PackagingResult, error) {
+	return RunTokenPackagingTracedWorkers(g, tokens, tau, seed, tracer, 0)
+}
+
+// RunTokenPackagingTracedWorkers is RunTokenPackagingTraced with an explicit
+// bound on the simulator's node-execution pool (0 means GOMAXPROCS); the
+// result is identical at any value.
+func RunTokenPackagingTracedWorkers(g *graph.Graph, tokens []uint64, tau int, seed uint64, tracer simnet.Tracer, workers int) (PackagingResult, error) {
 	nodes, impls, err := buildNodes(g, tokens, ModePackagingOnly, tau, 0, nil)
 	if err != nil {
 		return PackagingResult{}, err
@@ -50,6 +57,7 @@ func RunTokenPackagingTraced(g *graph.Graph, tokens []uint64, tau int, seed uint
 		MaxBytesPerMessage: congestBandwidth,
 		Seed:               seed,
 		Tracer:             tracer,
+		Workers:            workers,
 	})
 	if err != nil {
 		return PackagingResult{}, err
@@ -106,6 +114,14 @@ func RunUniformity(g *graph.Graph, tokens []uint64, p Params, seed uint64) (Unif
 
 // RunUniformityTraced is RunUniformity with a simulator tracer attached.
 func RunUniformityTraced(g *graph.Graph, tokens []uint64, p Params, seed uint64, tracer simnet.Tracer) (UniformityResult, error) {
+	return RunUniformityTracedWorkers(g, tokens, p, seed, tracer, 0)
+}
+
+// RunUniformityTracedWorkers is RunUniformityTraced with an explicit bound
+// on the simulator's node-execution pool (0 means GOMAXPROCS). The verdict,
+// stats and trace are identical at any value — cmd/congestsim -workers
+// exposes the knob so CI can diff runs at different counts.
+func RunUniformityTracedWorkers(g *graph.Graph, tokens []uint64, p Params, seed uint64, tracer simnet.Tracer, workers int) (UniformityResult, error) {
 	if p.Tau < 2 {
 		return UniformityResult{}, fmt.Errorf("congest: package size τ=%d < 2", p.Tau)
 	}
@@ -117,6 +133,7 @@ func RunUniformityTraced(g *graph.Graph, tokens []uint64, p Params, seed uint64,
 		MaxBytesPerMessage: congestBandwidth,
 		Seed:               seed,
 		Tracer:             tracer,
+		Workers:            workers,
 	})
 	if err != nil {
 		return UniformityResult{}, err

@@ -1,0 +1,146 @@
+package congest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/graph"
+	"github.com/unifdist/unifdist/internal/rng"
+	"github.com/unifdist/unifdist/internal/simnet"
+)
+
+// EstimateErrorParallel is EstimateError with trials fanned out across
+// worker goroutines (0 means GOMAXPROCS). The result is bit-for-bit
+// deterministic in r at any worker count:
+//
+//   - trial i's randomness is derived by index — rng.SeedAt(base, i) for a
+//     base drawn once from r — so the tokens and simulator seed of a trial
+//     depend on neither scheduling nor the worker count;
+//   - workers claim chunks of trial indices from one atomic counter
+//     (work-stealing) and fold verdicts into per-worker partial sums; the
+//     total is a commutative sum, so the estimate is schedule-independent;
+//   - each trial's simulator runs single-threaded (simnet.Config.Workers=1)
+//     so trial-level parallelism is not oversubscribed by node-level
+//     parallelism;
+//   - on error the failure of the lowest trial index wins, which is what a
+//     sequential loop over the same indexed streams would report first.
+//
+// The sequential EstimateError draws tokens straight from r, so the two
+// estimators sample different (equally valid) trial sets; only
+// EstimateErrorParallel is invariant under its workers argument.
+func EstimateErrorParallel(g *graph.Graph, d dist.Distribution, p Params, wantAccept bool, trials, workers int, r *rng.RNG) (float64, error) {
+	if p.Tau < 2 {
+		return 0, fmt.Errorf("congest: package size τ=%d < 2", p.Tau)
+	}
+	if trials <= 0 {
+		return 0, nil
+	}
+	// One draw fixes every trial's randomness and advances r by the same
+	// amount at any worker count.
+	base := r.Uint64()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	// runRange executes trials [lo, hi) on worker-owned scratch and reports
+	// the wrong-verdict count plus the first (lowest-index) failure.
+	runRange := func(lo, hi int, gen *rng.RNG, tokens []uint64) (int, int, error) {
+		wrong := 0
+		for i := lo; i < hi; i++ {
+			gen.SeedAt(base, uint64(i))
+			for v := range tokens {
+				tokens[v] = uint64(d.Sample(gen))
+			}
+			res, err := runUniformityTrial(g, tokens, p, gen.Uint64())
+			if err != nil {
+				return wrong, i, err
+			}
+			if res.Accept != wantAccept {
+				wrong++
+			}
+		}
+		return wrong, -1, nil
+	}
+
+	if workers == 1 {
+		wrong, _, err := runRange(0, trials, rng.New(0), make([]uint64, g.N()))
+		if err != nil {
+			return 0, err
+		}
+		return float64(wrong) / float64(trials), nil
+	}
+
+	chunk := trials / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 64 {
+		chunk = 64
+	}
+	var (
+		next, total atomic.Int64
+		wg          sync.WaitGroup
+		mu          sync.Mutex
+		firstIdx    = trials
+		firstErr    error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			gen := rng.New(0)
+			tokens := make([]uint64, g.N())
+			local := 0
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= trials {
+					break
+				}
+				hi := lo + chunk
+				if hi > trials {
+					hi = trials
+				}
+				wrong, idx, err := runRange(lo, hi, gen, tokens)
+				local += wrong
+				if err != nil {
+					mu.Lock()
+					if idx < firstIdx {
+						firstIdx, firstErr = idx, err
+					}
+					mu.Unlock()
+					break
+				}
+			}
+			total.Add(int64(local))
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return float64(int(total.Load())) / float64(trials), nil
+}
+
+// runUniformityTrial is one estimator trial: a single-threaded simulation
+// (trial-level parallelism already saturates the cores) with no tracer.
+func runUniformityTrial(g *graph.Graph, tokens []uint64, p Params, seed uint64) (UniformityResult, error) {
+	nodes, impls, err := buildNodes(g, tokens, ModeUniformity, p.Tau, p.T, nil)
+	if err != nil {
+		return UniformityResult{}, err
+	}
+	stats, err := simnet.Run(g, nodes, simnet.Config{
+		MaxBytesPerMessage: congestBandwidth,
+		Seed:               seed,
+		Workers:            1,
+	})
+	if err != nil {
+		return UniformityResult{}, err
+	}
+	return collectUniformity(stats, impls)
+}

@@ -56,36 +56,81 @@ func (c *Code) MinDistance() int {
 	return c.rs.minDistance() * golayMinDistance
 }
 
+// EncodeScratch holds the intermediate symbol buffers of one encoding.
+// Reusing one scratch across calls (one per goroutine — a scratch is not
+// safe for concurrent use) makes EncodeInto allocation-free, which is what
+// the SMP trial loops need: they encode fixed inputs tens of thousands of
+// times per experiment cell.
+type EncodeScratch struct {
+	symbols []uint16
+	outer   []uint16
+}
+
+// NewEncodeScratch returns scratch sized for c's symbol counts.
+func (c *Code) NewEncodeScratch() *EncodeScratch {
+	return &EncodeScratch{
+		symbols: make([]uint16, c.kSymbols),
+		outer:   make([]uint16, c.nSymbols),
+	}
+}
+
 // Encode maps a message bitset (LSB-first within each byte; at least
 // ⌈MessageBits/8⌉ bytes) to its codeword bitset of CodeBits() bits.
 func (c *Code) Encode(msg []byte) ([]byte, error) {
+	return c.EncodeInto(msg, nil, nil)
+}
+
+// EncodeInto is Encode reusing caller-provided buffers: dst receives the
+// codeword bitset (grown if shorter than ⌈CodeBits/8⌉ bytes, reused
+// otherwise) and sc holds the intermediate symbol buffers (nil allocates
+// fresh ones). It returns the codeword bitset, which aliases dst when dst
+// had capacity. With a warm scratch and a full-size dst the call is
+// allocation-free.
+func (c *Code) EncodeInto(msg, dst []byte, sc *EncodeScratch) ([]byte, error) {
 	if got, want := len(msg), (c.msgBits+7)/8; got < want {
 		return nil, fmt.Errorf("ecc: message has %d bytes, want at least %d", got, want)
 	}
+	if sc == nil {
+		sc = c.NewEncodeScratch()
+	}
+	if len(sc.symbols) != c.kSymbols || len(sc.outer) != c.nSymbols {
+		return nil, fmt.Errorf("ecc: scratch sized for another code (%d/%d symbols, want %d/%d)",
+			len(sc.symbols), len(sc.outer), c.kSymbols, c.nSymbols)
+	}
 	// Pack bits into 12-bit symbols (zero padded).
-	symbols := make([]uint16, c.kSymbols)
+	symbols := sc.symbols
+	for i := range symbols {
+		symbols[i] = 0
+	}
 	for i := 0; i < c.msgBits; i++ {
 		if msg[i/8]&(1<<(i%8)) != 0 {
 			symbols[i/gfBits] |= 1 << (i % gfBits)
 		}
 	}
-	outer, err := c.rs.encode(symbols)
-	if err != nil {
+	if err := c.rs.encodeInto(symbols, sc.outer); err != nil {
 		return nil, err
 	}
 	// Inner Golay expansion.
-	out := make([]byte, (c.CodeBits()+7)/8)
-	for i, sym := range outer {
+	want := (c.CodeBits() + 7) / 8
+	if cap(dst) < want {
+		dst = make([]byte, want)
+	} else {
+		dst = dst[:want]
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	for i, sym := range sc.outer {
 		cw := golayEncode(sym)
 		base := 24 * i
 		for b := 0; b < 24; b++ {
 			if cw&(1<<b) != 0 {
 				pos := base + b
-				out[pos/8] |= 1 << (pos % 8)
+				dst[pos/8] |= 1 << (pos % 8)
 			}
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Bit reports bit i of a bitset produced by Encode.

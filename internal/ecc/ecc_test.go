@@ -297,6 +297,86 @@ func TestEncodeDeterministic(t *testing.T) {
 	}
 }
 
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	for _, bits := range []int{1, 7, 64, 200, 1024} {
+		c, err := NewCode(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := make([]byte, (bits+7)/8)
+		for i := range msg {
+			msg[i] = byte(3*i + 1)
+		}
+		want, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := c.NewEncodeScratch()
+		dst := make([]byte, (c.CodeBits()+7)/8)
+		// Reuse the same scratch and dst repeatedly, including with dirty
+		// contents, to catch missing resets of the |= packing loops.
+		for rep := 0; rep < 3; rep++ {
+			for i := range dst {
+				dst[i] = 0xff
+			}
+			got, err := c.EncodeInto(msg, dst, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if &got[0] != &dst[0] {
+				t.Fatalf("bits=%d rep=%d: EncodeInto did not reuse dst", bits, rep)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("bits=%d rep=%d: EncodeInto differs from Encode", bits, rep)
+			}
+		}
+		// nil dst and nil scratch allocate but must still agree.
+		got, err := c.EncodeInto(msg, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("bits=%d: EncodeInto(nil, nil) differs from Encode", bits)
+		}
+	}
+}
+
+func TestEncodeIntoRejectsForeignScratch(t *testing.T) {
+	a, err := NewCode(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCode(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 8)
+	if _, err := a.EncodeInto(msg, nil, b.NewEncodeScratch()); err == nil {
+		t.Fatal("EncodeInto accepted scratch sized for another code")
+	}
+}
+
+func TestEncodeIntoAllocationFree(t *testing.T) {
+	c, err := NewCode(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 128)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	sc := c.NewEncodeScratch()
+	dst := make([]byte, (c.CodeBits()+7)/8)
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := c.EncodeInto(msg, dst, sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodeInto with warm scratch allocates %.1f times per call, want 0", allocs)
+	}
+}
+
 func TestBitHelpers(t *testing.T) {
 	bits := make([]byte, 2)
 	SetBit(bits, 3)
@@ -324,6 +404,26 @@ func BenchmarkEncode1KBit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeInto1KBit(b *testing.B) {
+	c, err := NewCode(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 128)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	sc := c.NewEncodeScratch()
+	dst := make([]byte, (c.CodeBits()+7)/8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EncodeInto(msg, dst, sc); err != nil {
 			b.Fatal(err)
 		}
 	}

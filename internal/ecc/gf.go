@@ -84,6 +84,11 @@ type rs struct {
 	k, n  int
 	// points[i] is the i-th evaluation point.
 	points []uint16
+	// pointLogs[i] is log_α(points[i]), precomputed once per code so the
+	// Horner inner loop multiplies with a single table lookup instead of a
+	// log lookup per step. Every point α^i is nonzero, so the log always
+	// exists.
+	pointLogs []int
 }
 
 // newRS builds an [n, k] Reed–Solomon code. It requires 1 ≤ k ≤ n ≤ 4095.
@@ -92,26 +97,45 @@ func newRS(field *gf, k, n int) (*rs, error) {
 		return nil, fmt.Errorf("ecc: invalid RS parameters k=%d n=%d", k, n)
 	}
 	points := make([]uint16, n)
+	pointLogs := make([]int, n)
 	for i := range points {
 		points[i] = field.exp[i] // α^i, distinct for i < 4095
+		pointLogs[i] = int(field.log[points[i]])
 	}
-	return &rs{field: field, k: k, n: n, points: points}, nil
+	return &rs{field: field, k: k, n: n, points: points, pointLogs: pointLogs}, nil
 }
 
 // encode evaluates the message polynomial at every point (Horner's rule).
 func (r *rs) encode(msg []uint16) ([]uint16, error) {
-	if len(msg) != r.k {
-		return nil, fmt.Errorf("ecc: RS message has %d symbols, want %d", len(msg), r.k)
-	}
 	out := make([]uint16, r.n)
-	for i, x := range r.points {
+	if err := r.encodeInto(msg, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// encodeInto is encode writing into a caller-provided slice of exactly n
+// symbols. The inner loop inlines GF multiplication against the
+// precomputed point logs: acc·α^i is one exp-table lookup.
+func (r *rs) encodeInto(msg, out []uint16) error {
+	if len(msg) != r.k {
+		return fmt.Errorf("ecc: RS message has %d symbols, want %d", len(msg), r.k)
+	}
+	if len(out) != r.n {
+		return fmt.Errorf("ecc: RS output has %d symbols, want %d", len(out), r.n)
+	}
+	exp, log := &r.field.exp, &r.field.log
+	for i, lx := range r.pointLogs {
 		acc := uint16(0)
 		for j := r.k - 1; j >= 0; j-- {
-			acc = r.field.add(r.field.mul(acc, x), msg[j])
+			if acc != 0 {
+				acc = exp[int(log[acc])+lx]
+			}
+			acc ^= msg[j]
 		}
 		out[i] = acc
 	}
-	return out, nil
+	return nil
 }
 
 // minDistance returns the RS minimum distance N−k+1.

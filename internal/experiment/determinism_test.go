@@ -32,22 +32,45 @@ func renderAt(t *testing.T, id string, procs int) string {
 	return buf.String()
 }
 
-// TestTablesDeterministicAcrossGOMAXPROCS checks the PR-2 engine contract
-// end to end: the same seed must produce byte-identical E2 and E3 tables at
-// GOMAXPROCS 1, 2, and 8. Both the concurrent sweep rows (RunRows) and the
-// chunked parallel trial engine (EstimateErrorParallel) reshape their
-// schedules across these settings; per-index seeding keeps the output fixed.
+// TestTablesDeterministicAcrossGOMAXPROCS checks the parallel-engine
+// contract end to end: the same seed must produce byte-identical E2, E3 and
+// E9 tables at GOMAXPROCS 1, 2, and 8. The concurrent sweep rows (RunRows),
+// the chunked parallel trial engines (EstimateErrorParallel and the SMP
+// estimators) and the flat simulator pool all reshape their schedules
+// across these settings; per-index seeding keeps the output fixed.
 func TestTablesDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	for _, id := range []string{"E2", "E3"} {
+	for _, id := range []string{"E2", "E3", "E9"} {
 		want := renderAt(t, id, 1)
 		for _, procs := range []int{2, 8} {
 			if got := renderAt(t, id, procs); got != want {
 				t.Errorf("%s table differs at GOMAXPROCS=%d:\n--- GOMAXPROCS=1 ---\n%s\n--- GOMAXPROCS=%d ---\n%s",
 					id, procs, want, procs, got)
 			}
+		}
+	}
+}
+
+// TestE7DeterministicAcrossGOMAXPROCS is the same pin for the CONGEST
+// experiment, whose quick render simulates ~16000 nodes for hundreds of
+// rounds per trial: the flat simulator pool, the parallel trial estimator
+// and the sweep rows must all collapse to the same bytes. It runs in its
+// own test because the renders cost tens of seconds — skipped under the
+// race detector, where three renders would dominate the package's budget.
+func TestE7DeterministicAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if raceEnabled {
+		t.Skip("E7 renders are too slow under the race detector")
+	}
+	want := renderAt(t, "E7", 1)
+	for _, procs := range []int{2, 8} {
+		if got := renderAt(t, "E7", procs); got != want {
+			t.Errorf("E7 table differs at GOMAXPROCS=%d:\n--- GOMAXPROCS=1 ---\n%s\n--- GOMAXPROCS=%d ---\n%s",
+				procs, want, procs, got)
 		}
 	}
 }

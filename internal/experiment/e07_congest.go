@@ -44,20 +44,19 @@ func runE7(ctx *RunContext) (*Table, error) {
 		},
 	}
 	r := rng.New(seed)
+	// The deep grid costs ~D·k node-rounds per trial; the flat simulator
+	// engine plus parallel trials keep it affordable in quick mode too.
 	topologies := []*graph.Graph{
 		graph.NewRandomConnected(k, 6.0/float64(k), seed),
-	}
-	if mode == Full {
-		// The deep grid costs ~D·k node-rounds per trial; full mode only.
-		topologies = append(topologies, graph.NewGrid(k/100, 100))
+		graph.NewGrid(k/100, 100),
 	}
 	for _, g := range topologies {
 		d := g.Diameter()
-		errU, err := congest.EstimateError(g, dist.NewUniform(n), p, true, trials, r)
+		errU, err := congest.EstimateErrorParallel(g, dist.NewUniform(n), p, true, trials, ctx.WorkerCount(), r)
 		if err != nil {
 			return nil, err
 		}
-		errFar, err := congest.EstimateError(g, dist.NewTwoBump(n, eps, r.Uint64()), p, false, trials, r)
+		errFar, err := congest.EstimateErrorParallel(g, dist.NewTwoBump(n, eps, r.Uint64()), p, false, trials, ctx.WorkerCount(), r)
 		if err != nil {
 			return nil, err
 		}
@@ -85,11 +84,11 @@ func runE7(ctx *RunContext) (*Table, error) {
 		if err == nil && rig.Feasible {
 			g := graph.NewRandomConnected(40000, 4.0/40000.0, seed^1)
 			errU, errU2 := 0.0, 0.0
-			eU, err := congest.EstimateError(g, dist.NewUniform(1<<12), rig, true, 6, r)
+			eU, err := congest.EstimateErrorParallel(g, dist.NewUniform(1<<12), rig, true, 6, ctx.WorkerCount(), r)
 			if err != nil {
 				return nil, err
 			}
-			eF, err := congest.EstimateError(g, dist.NewTwoBump(1<<12, eps, 3), rig, false, 6, r)
+			eF, err := congest.EstimateErrorParallel(g, dist.NewTwoBump(1<<12, eps, 3), rig, false, 6, ctx.WorkerCount(), r)
 			if err != nil {
 				return nil, err
 			}

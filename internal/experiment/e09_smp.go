@@ -55,17 +55,11 @@ func runE9(ctx *RunContext) (*Table, error) {
 		}
 		y := append([]byte(nil), x...)
 		y[0] ^= 1 // single-bit difference: hardest unequal pair
-		accEq := 0
-		for i := 0; i < trials/4; i++ {
-			acc, err := e.Run(x, x, r)
-			if err != nil {
-				return nil, err
-			}
-			if acc {
-				accEq++
-			}
+		rejEq, err := e.EstimateRejectProbParallel(x, x, trials/4, ctx.WorkerCount(), r)
+		if err != nil {
+			return nil, err
 		}
-		rejNeq, err := e.EstimateRejectProb(x, y, trials, r)
+		rejNeq, err := e.EstimateRejectProbParallel(x, y, trials, ctx.WorkerCount(), r)
 		if err != nil {
 			return nil, err
 		}
@@ -74,7 +68,7 @@ func runE9(ctx *RunContext) (*Table, error) {
 			fmtFloat(float64(e.ChunkLen())),
 			fmtFloat(math.Sqrt(24*c.tau*c.delta*float64(c.n))),
 			fmtFloat(float64(e.MessageBits())),
-			fmtProb(float64(accEq)/float64(trials/4)), fmtProb(rejNeq),
+			fmtProb(1-rejEq), fmtProb(rejNeq),
 			fmtFloat(e.GuaranteedReject()),
 		)
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiment
+
+// raceEnabled reports whether the race detector is compiled in, so heavy
+// determinism pins can budget for its slowdown.
+const raceEnabled = true

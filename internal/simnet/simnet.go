@@ -4,9 +4,14 @@
 // Execution proceeds in lock-step rounds, as in the standard models: in each
 // round every node receives the messages its neighbors sent in the previous
 // round, performs local computation, and emits at most one message per
-// incident edge. Each node runs in its own goroutine; a coordinator
-// exchanges inbox/outbox pairs with the nodes over channels, giving a
-// faithful round barrier and parallel node execution.
+// incident edge. Run executes rounds on a flat, deterministic engine (see
+// engine.go): CSR-flattened topology tables compiled once per graph,
+// double-buffered inbox arenas, and a bounded worker pool that executes
+// node programs in chunks while all routing and tracing stay serial in
+// node-index order — so Stats, tracer event streams and node states are
+// byte-identical at any Config.Workers value. The legacy goroutine-per-node
+// coordinator is retained as RunChannel for differential testing and
+// benchmarking.
 //
 // The CONGEST bandwidth restriction is enforced by Config.MaxBytesPerMessage
 // (a message of B bits per edge per round; 0 disables the limit, giving the
@@ -38,7 +43,10 @@ type PortMessage struct {
 	// destination; for incoming, the source.
 	Port int
 	// Payload is the message body; its length is charged against the
-	// bandwidth limit.
+	// bandwidth limit. Run copies payloads on delivery, so a sender may
+	// reuse its buffer as soon as Round returns and a receiver mutating a
+	// delivered payload cannot corrupt anyone else's inbox; delivered
+	// payloads are only valid for the round they arrive in.
 	Payload []byte
 }
 
@@ -77,6 +85,10 @@ type Config struct {
 	Seed uint64
 	// Tracer, if non-nil, observes rounds, messages and halts.
 	Tracer Tracer
+	// Workers bounds the flat engine's node-execution pool; 0 means
+	// GOMAXPROCS. Stats, tracer streams and node states are byte-identical
+	// at any value. RunChannel ignores it (one goroutine per node).
+	Workers int
 }
 
 // Stats summarizes an execution.
@@ -96,7 +108,21 @@ type Stats struct {
 // placed at vertex i; node IDs are the vertex indices. It returns an error
 // if a node sends to an invalid or duplicate port, exceeds the bandwidth
 // limit, or the round limit is reached.
+//
+// Run uses the flat round engine (engine.go): deterministic at any
+// Config.Workers value, with Stats, tracer event streams and node states
+// byte-identical to the legacy RunChannel engine.
 func Run(g *graph.Graph, nodes []Node, cfg Config) (Stats, error) {
+	return runFlat(g, nodes, cfg)
+}
+
+// RunChannel is the legacy goroutine-per-node engine: every node runs in
+// its own goroutine and a coordinator exchanges inbox/outbox pairs over
+// channels each round. It is retained as the differential-testing reference
+// for the flat engine and as the BenchmarkRunChannelRef baseline; new code
+// should call Run. Unlike Run, delivered payloads alias the sender's
+// slices, and Config.Workers is ignored.
+func RunChannel(g *graph.Graph, nodes []Node, cfg Config) (Stats, error) {
 	k := g.N()
 	if len(nodes) != k {
 		return Stats{}, fmt.Errorf("simnet: %d nodes for %d vertices", len(nodes), k)

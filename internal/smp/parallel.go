@@ -1,0 +1,262 @@
+package smp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/unifdist/unifdist/internal/ecc"
+	"github.com/unifdist/unifdist/internal/rng"
+	"github.com/unifdist/unifdist/internal/tester"
+)
+
+// This file holds the parallel trial estimators for the SMP protocols. The
+// experiment cells (E9, E13, E14) run each protocol tens of thousands of
+// times on a fixed input pair, so the estimators here hoist everything that
+// does not depend on the trial's coins out of the loop — above all the ECC
+// encoding, which dominates a single protocol run — and fan the trials
+// across a worker pool.
+//
+// Every estimator is bit-for-bit deterministic in the caller's RNG at any
+// worker count: trial i's generator is reseeded by index (rng.SeedAt with a
+// base drawn once from r), workers claim chunks of trial indices from one
+// atomic counter and fold verdicts into per-worker partial sums, and the
+// total is a commutative sum. The sequential estimators draw from r
+// directly, so the two families sample different (equally valid) trial
+// sets.
+
+// countParallel runs trials indexed 0…trials−1 across workers (0 means
+// GOMAXPROCS) and returns how many reported true. newWorker builds one
+// per-worker trial closure owning whatever scratch it needs; the closure
+// receives the trial index and a generator already reseeded for that index.
+// On error the failure of the lowest trial index wins.
+func countParallel(trials, workers int, base uint64, newWorker func() func(int, *rng.RNG) (bool, error)) (int, error) {
+	if trials <= 0 {
+		return 0, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	runRange := func(lo, hi int, gen *rng.RNG, fn func(int, *rng.RNG) (bool, error)) (int, int, error) {
+		count := 0
+		for i := lo; i < hi; i++ {
+			gen.SeedAt(base, uint64(i))
+			hit, err := fn(i, gen)
+			if err != nil {
+				return count, i, err
+			}
+			if hit {
+				count++
+			}
+		}
+		return count, -1, nil
+	}
+
+	if workers == 1 {
+		count, _, err := runRange(0, trials, rng.New(0), newWorker())
+		return count, err
+	}
+
+	chunk := trials / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 64 {
+		chunk = 64
+	}
+	var (
+		next, total atomic.Int64
+		wg          sync.WaitGroup
+		mu          sync.Mutex
+		firstIdx    = trials
+		firstErr    error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			gen := rng.New(0)
+			fn := newWorker()
+			local := 0
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= trials {
+					break
+				}
+				hi := lo + chunk
+				if hi > trials {
+					hi = trials
+				}
+				count, idx, err := runRange(lo, hi, gen, fn)
+				local += count
+				if err != nil {
+					mu.Lock()
+					if idx < firstIdx {
+						firstIdx, firstErr = idx, err
+					}
+					mu.Unlock()
+					break
+				}
+			}
+			total.Add(int64(local))
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return int(total.Load()), nil
+}
+
+// encodePair encodes both players' inputs through one shared symbol
+// scratch (ecc.EncodeInto): the estimators encode exactly twice per call,
+// however many trials follow.
+func encodePair(code *ecc.Code, x, y []byte) (cx, cy []byte, err error) {
+	sc := code.NewEncodeScratch()
+	if cx, err = code.EncodeInto(x, nil, sc); err != nil {
+		return nil, nil, err
+	}
+	if cy, err = code.EncodeInto(y, nil, sc); err != nil {
+		return nil, nil, err
+	}
+	return cx, cy, nil
+}
+
+// EstimateRejectProbParallel is EstimateRejectProb with the codewords
+// computed once and the trials fanned across workers (0 means GOMAXPROCS).
+func (e *Equality) EstimateRejectProbParallel(x, y []byte, trials, workers int, r *rng.RNG) (float64, error) {
+	if trials <= 0 {
+		return 0, nil
+	}
+	cx, cy, err := encodePair(e.code, x, y)
+	if err != nil {
+		return 0, err
+	}
+	base := r.Uint64()
+	rejects, err := countParallel(trials, workers, base, func() func(int, *rng.RNG) (bool, error) {
+		return func(_ int, gen *rng.RNG) (bool, error) {
+			return !e.runPrepared(cx, cy, gen), nil
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(rejects) / float64(trials), nil
+}
+
+// runPrepared is one chunk-protocol run on pre-encoded inputs. It draws the
+// same coins in the same order as Run (Alice's row and column, then Bob's)
+// and decides identically, but only ever reads the single torus cell where
+// the two chunks can intersect — the chunks themselves are never
+// materialized.
+func (e *Equality) runPrepared(cx, cy []byte, r *rng.RNG) bool {
+	aRow, aCol := r.Intn(e.grid), r.Intn(e.grid)
+	bRow, bCol := r.Intn(e.grid), r.Intn(e.grid)
+	di := (bRow - aRow + e.grid) % e.grid // index into Alice's chunk
+	dj := (aCol - bCol + e.grid) % e.grid // index into Bob's chunk
+	if di >= e.t || dj >= e.t {
+		return true // no intersection
+	}
+	// The shared cell is (bRow, aCol): Alice's chunk reaches it walking down
+	// column aCol, Bob's walking across row bRow.
+	return e.bitAt(cx, bRow, aCol) == e.bitAt(cy, bRow, aCol)
+}
+
+// EstimateRejectProbParallel is SingleCellEquality.EstimateRejectProb with
+// the codewords computed once and the trials fanned across workers.
+func (s *SingleCellEquality) EstimateRejectProbParallel(x, y []byte, trials, workers int, r *rng.RNG) (float64, error) {
+	if trials <= 0 {
+		return 0, nil
+	}
+	cx, cy, err := encodePair(s.code, x, y)
+	if err != nil {
+		return 0, err
+	}
+	m := s.code.CodeBits()
+	base := r.Uint64()
+	type probe struct {
+		idx int
+		bit bool
+	}
+	rejects, err := countParallel(trials, workers, base, func() func(int, *rng.RNG) (bool, error) {
+		alice := make([]probe, s.reps)
+		bob := make([]probe, s.reps)
+		return func(_ int, gen *rng.RNG) (bool, error) {
+			for i := 0; i < s.reps; i++ {
+				ai := gen.Intn(m)
+				bi := gen.Intn(m)
+				alice[i] = probe{idx: ai, bit: ecc.Bit(cx, ai)}
+				bob[i] = probe{idx: bi, bit: ecc.Bit(cy, bi)}
+			}
+			for _, a := range alice {
+				for _, b := range bob {
+					if a.idx == b.idx && a.bit != b.bit {
+						return true, nil
+					}
+				}
+			}
+			return false, nil
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(rejects) / float64(trials), nil
+}
+
+// EstimateAcceptProbParallel is EstimateAcceptProb with the codewords and
+// the tester hoisted out of the trial loop: inputs are encoded once per
+// call and each worker builds the tester once and reuses one sample buffer.
+func (e *EqualityFromTester) EstimateAcceptProbParallel(x, y []byte, trials, workers int, r *rng.RNG) (float64, error) {
+	if trials <= 0 {
+		return 0, nil
+	}
+	cx, cy, err := encodePair(e.code, x, y)
+	if err != nil {
+		return 0, err
+	}
+	base := r.Uint64()
+	accepts, err := countParallel(trials, workers, base, func() func(int, *rng.RNG) (bool, error) {
+		var (
+			t       tester.Tester
+			samples []int
+			initErr error
+		)
+		t, initErr = e.build(e.Domain())
+		if initErr == nil {
+			samples = make([]int, t.SampleSize())
+		}
+		return func(_ int, gen *rng.RNG) (bool, error) {
+			if initErr != nil {
+				return false, initErr
+			}
+			for i := range samples {
+				// Interleave as in Run: even positions from Alice's µ_X, odd
+				// from Bob's ν_Y.
+				coord := gen.Intn(e.m)
+				if i%2 == 0 {
+					bit := 0
+					if ecc.Bit(cx, coord) {
+						bit = 1
+					}
+					samples[i] = 2*coord + bit
+				} else {
+					bit := 1
+					if ecc.Bit(cy, coord) {
+						bit = 0
+					}
+					samples[i] = 2*coord + bit
+				}
+			}
+			return t.Test(samples), nil
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(accepts) / float64(trials), nil
+}
