@@ -1,0 +1,256 @@
+// Command unifcluster runs one 0-round uniformity-testing session as a
+// real cluster: a referee service plus k in-process node clients speaking
+// the length-prefixed wire protocol over net.Pipe or TCP loopback, with
+// optional seeded transport faults.
+//
+// Usage:
+//
+//	unifcluster [-rule threshold|and] [-k 60] [-n 64] [-eps 1.0]
+//	            [-dist uniform|twobump|zipf|halfsupport] [-trials 10]
+//	            [-seed 1] [-transport pipe|tcp] [-policy observed|strict]
+//	            [-early] [-sketch] [-drop 0] [-dup 0] [-disconnect 0]
+//	            [-delay 0] [-fault-seed 1] [-retries 0] [-backoff 5ms]
+//	            [-deadline 10s] [-json] [-journal run.jsonl]
+//
+// -json replaces the human-readable summary with the machine-readable run
+// document every other command emits (provenance + results + metrics);
+// -journal streams per-trial verdict events as JSON Lines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/unifdist/unifdist/internal/cluster"
+	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/obs"
+	"github.com/unifdist/unifdist/internal/zeroround"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "unifcluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("unifcluster", flag.ContinueOnError)
+	var (
+		ruleName  = fs.String("rule", "threshold", "decision rule: threshold (Thm 1.2) or and (Thm 1.1)")
+		k         = fs.Int("k", 60, "number of node clients")
+		n         = fs.Int("n", 64, "domain size")
+		eps       = fs.Float64("eps", 1.0, "L1 distance parameter")
+		distName  = fs.String("dist", "uniform", "uniform, twobump, zipf or halfsupport")
+		trials    = fs.Int("trials", 10, "Monte-Carlo trials per session")
+		seed      = fs.Uint64("seed", 1, "base seed of the indexed sample streams")
+		transport = fs.String("transport", "pipe", "pipe (in-memory) or tcp (loopback)")
+		policy    = fs.String("policy", "observed", "missing-vote policy: observed or strict")
+		early     = fs.Bool("early", false, "close the session as soon as every verdict is fixed")
+		sketch    = fs.Bool("sketch", false, "nodes submit raw collision sketches (threshold rule only)")
+		drop      = fs.Float64("drop", 0, "per-vote drop probability")
+		dup       = fs.Float64("dup", 0, "per-vote duplication probability")
+		disc      = fs.Float64("disconnect", 0, "per-vote hard-disconnect probability")
+		delay     = fs.Duration("delay", 0, "max per-vote injected delay")
+		faultSeed = fs.Uint64("fault-seed", 1, "seed of the fault plan's link streams")
+		retries   = fs.Int("retries", 0, "node redial attempts after transport errors")
+		backoff   = fs.Duration("backoff", 5*time.Millisecond, "initial retry backoff (doubles per attempt)")
+		deadline  = fs.Duration("deadline", cluster.DefaultDeadline, "session safety-net deadline")
+		jsonFlag  = fs.Bool("json", false, "emit a machine-readable run document instead of text")
+		jrnlFlag  = fs.String("journal", "", "write per-trial events to this JSONL file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	nw, params, err := buildNetwork(*ruleName, *n, *k, *eps)
+	if err != nil {
+		return err
+	}
+	if *sketch && *ruleName != "threshold" {
+		return fmt.Errorf("-sketch is only valid for the threshold rule (single-collision testers)")
+	}
+	d, err := buildDistribution(*distName, *n, *eps, *seed)
+	if err != nil {
+		return err
+	}
+
+	var pol cluster.QuorumPolicy
+	switch *policy {
+	case "observed":
+		pol = cluster.QuorumObserved
+	case "strict":
+		pol = cluster.QuorumStrict
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	cfg := cluster.Config{
+		Trials:     *trials,
+		BaseSeed:   *seed,
+		Policy:     pol,
+		EarlyClose: *early,
+		Sketch:     *sketch,
+		DomainN:    *n,
+		Deadline:   *deadline,
+		Retries:    *retries,
+		Backoff:    *backoff,
+	}
+	var plan *cluster.FaultPlan
+	if *drop > 0 || *dup > 0 || *disc > 0 || *delay > 0 {
+		plan = &cluster.FaultPlan{Seed: *faultSeed, Drop: *drop, Dup: *dup, Disconnect: *disc, Delay: *delay}
+	}
+
+	out := stdout
+	var reg *obs.Registry
+	if *jsonFlag {
+		out = nil
+		reg = obs.NewRegistry()
+		cfg.Obs = reg
+	}
+	prov := obs.CollectProvenance("unifcluster", *transport, *seed, args)
+	var journal *obs.Journal
+	if *jrnlFlag != "" {
+		journal, err = obs.OpenJournal(*jrnlFlag)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		if cfg.Obs == nil {
+			cfg.Obs = obs.NewRegistry()
+			reg = cfg.Obs
+		}
+		journal.Write(struct {
+			Kind       string         `json:"kind"`
+			Provenance obs.Provenance `json:"provenance"`
+		}{Kind: "run_start", Provenance: prov})
+	}
+
+	printf(out, "cluster: rule=%s k=%d n=%d trials=%d transport=%s policy=%s\n",
+		nw.Rule().Name(), nw.K(), *n, *trials, *transport, pol)
+	printf(out, "input: %s (true distance from uniform: %.4g)\n", d.Name(), dist.L1FromUniform(d))
+	if plan != nil {
+		printf(out, "faults: drop=%.3g dup=%.3g disconnect=%.3g delay=%s seed=%d\n",
+			plan.Drop, plan.Dup, plan.Disconnect, plan.Delay, plan.Seed)
+	}
+
+	start := time.Now()
+	var rep *cluster.Report
+	switch *transport {
+	case "pipe":
+		rep, err = cluster.RunPipe(cfg, nw, d, plan)
+	case "tcp":
+		rep, err = cluster.RunTCP(cfg, nw, d, plan)
+	default:
+		return fmt.Errorf("unknown transport %q", *transport)
+	}
+	if err != nil {
+		return err
+	}
+	prov.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+
+	if journal != nil {
+		for t := 0; t < rep.Trials; t++ {
+			journal.Write(struct {
+				Kind    string `json:"kind"`
+				Trial   int    `json:"trial"`
+				Accept  bool   `json:"accept"`
+				Rejects int    `json:"rejects"`
+				Votes   int    `json:"votes"`
+				Missing int    `json:"missing"`
+			}{Kind: "cluster_trial", Trial: t, Accept: rep.Verdicts[t], Rejects: rep.Rejects[t], Votes: rep.Votes[t], Missing: rep.Missing[t]})
+		}
+		journal.Write(struct {
+			Kind   string  `json:"kind"`
+			WallMS float64 `json:"wall_ms"`
+		}{Kind: "run_end", WallMS: prov.WallMS})
+		if err := journal.Err(); err != nil {
+			return err
+		}
+	}
+
+	printf(out, "verdict: %d/%d trials accept (missing votes: %d, quorum trials: %d, early trials: %d)\n",
+		rep.Accepts, rep.Trials, rep.MissingVotes, rep.QuorumTrials, rep.EarlyTrials)
+	printf(out, "transport: %d connections, %d frames, %d bytes, %d votes (%d duplicate, %d bad frames)\n",
+		rep.Stats.Connections, rep.Stats.Frames, rep.Stats.Bytes,
+		rep.Stats.Votes, rep.Stats.DuplicateVotes, rep.Stats.BadFrames)
+	if rep.Stats.EarlyClosed {
+		printf(out, "session closed early: every verdict was fixed\n")
+	}
+	if rep.Stats.DeadlineExpired {
+		printf(out, "WARNING: safety-net deadline expired before the protocol finished\n")
+	}
+
+	if *jsonFlag {
+		doc := obs.Document{
+			Provenance: prov,
+			Results: map[string]any{
+				"rule":    nw.Rule().Name(),
+				"params":  params,
+				"report":  rep,
+				"input":   map[string]any{"dist": d.Name(), "n": *n, "l1_from_uniform": dist.L1FromUniform(d)},
+				"faults":  plan,
+				"policy":  pol.String(),
+				"sketch":  *sketch,
+				"early":   *early,
+				"retries": *retries,
+			},
+		}
+		if reg != nil {
+			snap := reg.Snapshot()
+			doc.Metrics = &snap
+		}
+		return doc.WriteJSON(stdout)
+	}
+	return nil
+}
+
+func printf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}
+
+// buildNetwork solves and builds the requested 0-round network, returning
+// the solved parameter struct for the run document.
+func buildNetwork(rule string, n, k int, eps float64) (*zeroround.Network, any, error) {
+	switch rule {
+	case "threshold":
+		cfg, err := zeroround.SolveThreshold(n, k, eps)
+		if err != nil {
+			return nil, nil, err
+		}
+		nw, err := zeroround.BuildThreshold(cfg)
+		return nw, cfg, err
+	case "and":
+		cfg, err := zeroround.SolveAND(n, k, eps, 1.0/3)
+		if err != nil {
+			return nil, nil, err
+		}
+		nw, err := zeroround.BuildAND(cfg)
+		return nw, cfg, err
+	default:
+		return nil, nil, fmt.Errorf("unknown rule %q", rule)
+	}
+}
+
+func buildDistribution(name string, n int, eps float64, seed uint64) (dist.Distribution, error) {
+	switch name {
+	case "uniform":
+		return dist.NewUniform(n), nil
+	case "twobump":
+		if eps <= 0 || eps > 1 {
+			eps = 1
+		}
+		return dist.NewTwoBump(n, eps, seed), nil
+	case "zipf":
+		return dist.NewZipf(n, 1.2), nil
+	case "halfsupport":
+		return dist.NewHalfSupport(n), nil
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", name)
+	}
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunPipeSmoke(t *testing.T) {
+	if err := run([]string{"-k", "30", "-n", "64", "-trials", "4", "-seed", "1"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunANDSmoke(t *testing.T) {
+	if err := run([]string{"-rule", "and", "-k", "16", "-n", "1024", "-trials", "4", "-dist", "twobump", "-early"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTCPSmoke(t *testing.T) {
+	if err := run([]string{"-transport", "tcp", "-k", "20", "-n", "64", "-trials", "4"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSketchSmoke(t *testing.T) {
+	if err := run([]string{"-sketch", "-k", "30", "-n", "64", "-trials", "4"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSONDocument(t *testing.T) {
+	journalPath := filepath.Join(t.TempDir(), "run.jsonl")
+	var buf bytes.Buffer
+	args := []string{"-k", "40", "-n", "64", "-trials", "6", "-seed", "7",
+		"-dist", "twobump", "-drop", "0.1", "-json", "-journal", journalPath}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Provenance struct {
+			Tool     string `json:"tool"`
+			Mode     string `json:"mode"`
+			Seed     uint64 `json:"seed"`
+			Hostname string `json:"hostname"`
+			PID      int    `json:"pid"`
+		} `json:"provenance"`
+		Results struct {
+			Rule   string `json:"rule"`
+			Policy string `json:"policy"`
+			Report struct {
+				K            int    `json:"k"`
+				Trials       int    `json:"trials"`
+				Verdicts     []bool `json:"verdicts"`
+				MissingVotes int    `json:"missing_votes"`
+				Stats        struct {
+					Votes int `json:"votes"`
+				} `json:"stats"`
+			} `json:"report"`
+			Faults *struct {
+				Drop float64 `json:"Drop"`
+			} `json:"faults"`
+		} `json:"results"`
+		Metrics *struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("document not parseable: %v\n%s", err, buf.String())
+	}
+	if doc.Provenance.Tool != "unifcluster" || doc.Provenance.Mode != "pipe" || doc.Provenance.Seed != 7 {
+		t.Errorf("provenance = %+v", doc.Provenance)
+	}
+	if doc.Provenance.Hostname == "" || doc.Provenance.PID <= 0 {
+		t.Errorf("provenance missing host identity: hostname=%q pid=%d", doc.Provenance.Hostname, doc.Provenance.PID)
+	}
+	if doc.Results.Rule == "" || doc.Results.Policy != "observed" {
+		t.Errorf("results = %+v", doc.Results)
+	}
+	rep := doc.Results.Report
+	if rep.K != 40 || rep.Trials != 6 || len(rep.Verdicts) != 6 {
+		t.Errorf("report = %+v", rep)
+	}
+	// The drop plan must lose votes, and the document must account for them.
+	if rep.MissingVotes == 0 {
+		t.Error("drop plan lost no votes")
+	}
+	if doc.Results.Faults == nil || doc.Results.Faults.Drop != 0.1 {
+		t.Errorf("faults = %+v", doc.Results.Faults)
+	}
+	if doc.Metrics == nil {
+		t.Fatal("metrics snapshot missing")
+	}
+	if doc.Metrics.Counters["cluster.votes"] == 0 || doc.Metrics.Counters["cluster.votes_missing"] == 0 {
+		t.Errorf("cluster counters = %v", doc.Metrics.Counters)
+	}
+
+	data, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad journal line %q: %v", line, err)
+		}
+		kinds[ev.Kind]++
+	}
+	if kinds["run_start"] != 1 || kinds["run_end"] != 1 || kinds["cluster_trial"] != 6 {
+		t.Errorf("journal kinds = %v", kinds)
+	}
+}
+
+func TestRunCleanJSONHasNoMissingVotes(t *testing.T) {
+	// The CI loopback smoke relies on this shape: a fault-free fixed-seed
+	// run reports zero missing votes and a full verdict vector.
+	var buf bytes.Buffer
+	if err := run([]string{"-k", "30", "-n", "64", "-trials", "5", "-seed", "3", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Results struct {
+			Report struct {
+				Trials       int    `json:"trials"`
+				Verdicts     []bool `json:"verdicts"`
+				MissingVotes int    `json:"missing_votes"`
+			} `json:"report"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Results.Report.MissingVotes != 0 {
+		t.Errorf("clean run lost %d votes", doc.Results.Report.MissingVotes)
+	}
+	if len(doc.Results.Report.Verdicts) != 5 {
+		t.Errorf("verdicts = %v", doc.Results.Report.Verdicts)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{name: "bad rule", args: []string{"-rule", "bogus"}, want: "unknown rule"},
+		{name: "bad dist", args: []string{"-dist", "bogus"}, want: "unknown distribution"},
+		{name: "bad transport", args: []string{"-transport", "bogus"}, want: "unknown transport"},
+		{name: "bad policy", args: []string{"-policy", "bogus"}, want: "unknown policy"},
+		{name: "sketch under and", args: []string{"-rule", "and", "-sketch", "-k", "16", "-n", "1024"}, want: "threshold rule"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, io.Discard)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -12,5 +12,6 @@ func TestDetRand(t *testing.T) {
 		"detrand/bad",
 		"detrand/allowed",
 		"detrand/exempt/rng",
+		"detrand/faultplan",
 	)
 }

@@ -11,5 +11,6 @@ func TestSharedRNG(t *testing.T) {
 	analysistest.Run(t, analysis.SharedRNG,
 		"sharedrng/bad",
 		"sharedrng/good",
+		"sharedrng/clusterlink",
 	)
 }

@@ -1,0 +1,33 @@
+// Package faultplan is the cluster fault-injection idiom: transport
+// misbehavior is drawn from seeded internal/rng streams — one Float64-like
+// draw per vote against cumulative rate thresholds — never from math/rand,
+// so a fault pattern is reproducible from its seed alone. The analyzer
+// must stay silent on this package.
+package faultplan
+
+import "rng"
+
+// Plan holds seeded fault rates in cumulative-threshold form.
+type Plan struct {
+	Seed             uint64
+	Disconnect, Drop float64
+}
+
+// Outcome classifies one vote frame's fate on a link: 0 deliver,
+// 1 drop, 2 disconnect. The draw comes from the link's private seeded
+// stream, so outcomes are a pure function of (Seed, link, frame).
+func (p Plan) Outcome(link, frame uint64) int {
+	g := rng.At(p.Seed, link)
+	for i := uint64(0); i < frame; i++ {
+		g.Uint64()
+	}
+	x := float64(g.Uint64()%1000) / 1000
+	switch {
+	case x < p.Disconnect:
+		return 2
+	case x < p.Disconnect+p.Drop:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,45 @@
+// Package clusterlink is the cluster fault-link idiom: every node client
+// goroutine derives its link's private fault generator inside itself via
+// rng.At(seed, linkID), so no *rng.RNG value ever crosses a goroutine
+// boundary and the fault pattern stays a pure function of (seed, node,
+// attempt) at any scheduling.
+package clusterlink
+
+import "rng"
+
+// linkID names the fault stream of one node's attempt-th connection.
+func linkID(node, attempt int) uint64 {
+	return uint64(node)<<16 | uint64(attempt&0xffff)
+}
+
+// Links spawns one goroutine per node, each deriving its own link
+// generator — the analyzer must stay silent.
+func Links(seed uint64, k int) {
+	done := make(chan uint64, k)
+	for node := 0; node < k; node++ {
+		node := node
+		go func() {
+			g := rng.At(seed, linkID(node, 0))
+			done <- g.Uint64()
+		}()
+	}
+	for i := 0; i < k; i++ {
+		<-done
+	}
+}
+
+// SharedLink is the corresponding mistake: one fault generator built
+// outside the handlers and captured by all of them, making the realized
+// fault pattern depend on goroutine interleaving.
+func SharedLink(seed uint64, k int) {
+	g := rng.At(seed, 0)
+	done := make(chan uint64, k)
+	for node := 0; node < k; node++ {
+		go func() {
+			done <- g.Uint64() // want "rng.RNG .g. captured by goroutine closure"
+		}()
+	}
+	for i := 0; i < k; i++ {
+		<-done
+	}
+}

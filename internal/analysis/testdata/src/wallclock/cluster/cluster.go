@@ -1,0 +1,30 @@
+// Package cluster sits under a "cluster" path segment, so the wall-clock
+// ban applies: the networked runtime's verdicts must be a pure function of
+// the base seed. Deadlines that merely bound I/O are the sanctioned
+// exemption — each carries an //unifvet:allow wallclock directive naming
+// why the clock read cannot reach a verdict.
+package cluster
+
+import (
+	"net"
+	"time"
+)
+
+// Deadline is the transport-deadline safety-net idiom used by the referee
+// and node clients: the clock bounds how long a read may block, and which
+// votes arrive is all that feeds the verdict.
+func Deadline(conn net.Conn, d time.Duration) {
+	conn.SetReadDeadline(time.Now().Add(d)) //unifvet:allow wallclock I/O safety bound; verdicts depend only on which votes arrive
+}
+
+// Stamped decides from the clock — the failure mode the analyzer exists
+// to catch in this package.
+func Stamped() bool {
+	return time.Now().UnixNano()%2 == 0 // want "time.Now in trial-path package"
+}
+
+// Elapsed measures a session with time.Since, which is equally banned
+// without a directive.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in trial-path package"
+}

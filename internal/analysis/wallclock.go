@@ -8,12 +8,15 @@ import (
 // wallClockPackages are the import-path segments naming packages on the
 // Monte-Carlo trial path. Reading the wall clock there couples results (or
 // result-adjacent state) to real time; the only legitimate use is
-// observability timing, which must carry a //unifvet:allow wallclock
-// directive with a reason.
-var wallClockPackages = []string{"tester", "zeroround", "dist", "experiment"}
+// observability timing or a transport-deadline safety net, which must
+// carry a //unifvet:allow wallclock directive with a reason. The cluster
+// runtime is included because its verdicts must remain a pure function of
+// the base seed: deadlines may bound I/O, never decide trials.
+var wallClockPackages = []string{"tester", "zeroround", "dist", "experiment", "cluster"}
 
 // WallClock flags time.Now and time.Since in trial-path packages
-// (internal/{tester,zeroround,dist,experiment}). Test files are exempt.
+// (internal/{tester,zeroround,dist,experiment,cluster}). Test files are
+// exempt.
 var WallClock = &Analyzer{
 	Name: "wallclock",
 	Doc:  "forbid time.Now/time.Since in trial-path packages (internal/{" + strings.Join(wallClockPackages, ",") + "})",

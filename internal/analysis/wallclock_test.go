@@ -11,5 +11,6 @@ func TestWallClock(t *testing.T) {
 	analysistest.Run(t, analysis.WallClock,
 		"wallclock/tester",
 		"wallclock/clean",
+		"wallclock/cluster",
 	)
 }

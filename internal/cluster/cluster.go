@@ -1,0 +1,297 @@
+// Package cluster executes the paper's 0-round testers over real
+// connections instead of the in-process simulator: k node clients each
+// draw their sample block, vote, and push the vote over a length-prefixed
+// wire protocol (internal/wire) to a referee service that applies the
+// network decision rule incrementally as votes arrive.
+//
+// The runtime is the client/server form of zeroround.Network. The two are
+// tied together by the indexed randomness contract zeroround.VoteStream:
+// node i's samples for trial t are a pure function of (base seed, t, i),
+// so a cluster run — any connection ordering, any scheduling, any
+// retransmission — produces trial-for-trial the same votes as the
+// reference execution zeroround.(*Network).RunAt. Differential tests pin
+// that equivalence exactly.
+//
+// Unlike the simulator, the transport can misbehave: a seeded FaultPlan
+// drops, duplicates, delays or disconnects vote frames deterministically,
+// and the referee degrades gracefully — its quorum policy decides each
+// trial from the votes that arrived, recording how many went missing. This
+// expresses a robustness property the simulator cannot: the measured
+// network error stays within the paper's 1/3 under bounded vote loss.
+//
+// Topology: Referee serves any net.Listener (TCP for real deployments);
+// NewPipeListener provides a zero-copy in-memory transport (net.Pipe) for
+// single-process clusters and tests. RunPipe/RunTCP assemble the full
+// referee-plus-k-nodes session either way.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/obs"
+	"github.com/unifdist/unifdist/internal/zeroround"
+)
+
+// QuorumPolicy decides what the referee does with trials whose votes did
+// not all arrive by the end of the run.
+type QuorumPolicy int
+
+const (
+	// QuorumObserved decides each trial from the votes that arrived: the
+	// decision rule is applied to the observed rejecting count over the
+	// full network size, i.e. a missing vote counts as an accept. This is
+	// the graceful-degradation mode: bounded vote loss shifts the verdict
+	// threshold by at most the loss rate.
+	QuorumObserved QuorumPolicy = iota
+	// QuorumStrict requires every vote: any missing vote fails the run
+	// with an error (verdicts are still reported, decided as in
+	// QuorumObserved, so the caller can inspect what the quorum would have
+	// said).
+	QuorumStrict
+)
+
+// String returns the policy name.
+func (p QuorumPolicy) String() string {
+	switch p {
+	case QuorumObserved:
+		return "observed"
+	case QuorumStrict:
+		return "strict"
+	default:
+		return fmt.Sprintf("QuorumPolicy(%d)", int(p))
+	}
+}
+
+// DefaultDeadline bounds a session when peers stall; see Config.Deadline.
+const DefaultDeadline = 10 * time.Second
+
+// Config holds the session parameters shared by the referee and every
+// node client.
+type Config struct {
+	// Trials is the number of Monte-Carlo trials voted on in this session.
+	Trials int
+	// BaseSeed fixes the indexed randomness of every (trial, node) sample
+	// stream (zeroround.VoteStream) and thereby the entire run.
+	BaseSeed uint64
+	// Policy decides trials with missing votes; see QuorumPolicy.
+	Policy QuorumPolicy
+	// EarlyClose lets the referee shut the session down as soon as every
+	// trial's verdict is fixed (EarlyDecider rules can fix a verdict
+	// before all votes arrive). Verdicts are unchanged; only trailing
+	// traffic is saved. Nodes still mid-submission observe their
+	// connection closing, which is expected, so loopback harnesses ignore
+	// node-side errors once the referee closed early.
+	EarlyClose bool
+	// Sketch switches the nodes to submitting raw collision sketches
+	// (wire.Sketch) instead of precomputed votes; the referee derives the
+	// vote as Collisions > 0. Valid only for single-collision testers
+	// (the threshold rule), where that derivation is the tester.
+	Sketch bool
+	// DomainN is the sample domain size, required in Sketch mode to run
+	// the collision statistic.
+	DomainN int
+	// Deadline bounds the whole session at the referee and each node
+	// client I/O attempt; 0 means DefaultDeadline. It is a safety net
+	// against stalled peers — fault-free runs finish on protocol events
+	// (all votes in, or all nodes done), never on the clock.
+	Deadline time.Duration
+	// Retries is how many times a node client redials and resubmits after
+	// a transport error; Backoff is the sleep before the first retry
+	// (doubling each attempt).
+	Retries int
+	Backoff time.Duration
+	// Obs, when non-nil, receives connection/vote/fault metrics. Nil
+	// disables telemetry.
+	Obs *obs.Registry
+}
+
+// deadline resolves the configured deadline.
+func (c Config) deadline() time.Duration {
+	if c.Deadline <= 0 {
+		return DefaultDeadline
+	}
+	return c.Deadline
+}
+
+// Report is the referee's account of one session.
+type Report struct {
+	// K and Trials echo the session shape.
+	K      int `json:"k"`
+	Trials int `json:"trials"`
+	// Verdicts[t] is trial t's network verdict (true = accept); Rejects[t]
+	// the rejecting votes observed; Votes[t] the votes that arrived;
+	// Missing[t] the votes a quorum decision had to do without (0 for
+	// trials decided on full or early-decided information).
+	Verdicts []bool `json:"verdicts"`
+	Rejects  []int  `json:"rejects"`
+	Votes    []int  `json:"votes"`
+	Missing  []int  `json:"missing"`
+	// Accepts counts accepting trials; MissingVotes sums Missing.
+	Accepts      int `json:"accepts"`
+	MissingVotes int `json:"missing_votes"`
+	// QuorumTrials counts trials decided by the quorum fallback;
+	// EarlyTrials counts trials fixed by the rule's EarlyDecider before
+	// all their votes arrived.
+	QuorumTrials int `json:"quorum_trials"`
+	EarlyTrials  int `json:"early_trials"`
+	// Stats aggregates transport-level accounting.
+	Stats RefereeStats `json:"stats"`
+}
+
+// ErrorRate returns the fraction of trials whose verdict differs from
+// wantAccept — the cluster analogue of zeroround.EstimateError.
+func (r *Report) ErrorRate(wantAccept bool) float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	wrong := 0
+	for _, a := range r.Verdicts {
+		if a != wantAccept {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(r.Trials)
+}
+
+// RefereeStats is the transport-level accounting of one session.
+type RefereeStats struct {
+	// Connections counts accepted connections (retries reconnect, so this
+	// can exceed k); Frames and Bytes count everything received.
+	Connections int   `json:"connections"`
+	Frames      int   `json:"frames"`
+	Bytes       int64 `json:"bytes"`
+	// Votes counts distinct (trial, node) votes recorded; DuplicateVotes
+	// the deduplicated resubmissions; BadFrames the frames rejected by
+	// validation (range, identity or codec errors).
+	Votes          int `json:"votes"`
+	DuplicateVotes int `json:"duplicate_votes"`
+	BadFrames      int `json:"bad_frames"`
+	// EarlyClosed reports the session ended because every verdict was
+	// fixed; DeadlineExpired that the safety-net deadline fired.
+	EarlyClosed     bool `json:"early_closed,omitempty"`
+	DeadlineExpired bool `json:"deadline_expired,omitempty"`
+}
+
+// RunPipe executes one full session in-process over net.Pipe transports:
+// a referee for nw's rule plus one node client per network node, faults
+// injected per plan (nil plan = clean links). It returns the referee's
+// report; node-side errors fail the run only when the referee did not
+// close the session early (see Config.EarlyClose).
+func RunPipe(cfg Config, nw *zeroround.Network, d dist.Distribution, plan *FaultPlan) (*Report, error) {
+	l := NewPipeListener()
+	return runSession(cfg, nw, d, plan, l, l.Dial)
+}
+
+// RunTCP is RunPipe over a real TCP loopback listener.
+func RunTCP(cfg Config, nw *zeroround.Network, d dist.Distribution, plan *FaultPlan) (*Report, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen: %w", err)
+	}
+	addr := l.Addr().String()
+	dial := func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	return runSession(cfg, nw, d, plan, l, dial)
+}
+
+// runSession starts the referee on l, launches nw.K() node clients that
+// connect via dial, and reconciles both sides' outcomes.
+func runSession(cfg Config, nw *zeroround.Network, d dist.Distribution, plan *FaultPlan, l net.Listener, dial func() (net.Conn, error)) (*Report, error) {
+	k := nw.K()
+	rf := NewReferee(k, nw.Rule(), cfg)
+
+	type nodeErr struct {
+		node int
+		err  error
+	}
+	errCh := make(chan nodeErr, k)
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for i := 0; i < k; i++ {
+		nc := &NodeClient{
+			ID:     i,
+			K:      k,
+			Tester: nw.Node(i),
+			Config: cfg,
+			Dial:   dial,
+			Faults: plan,
+		}
+		go func(i int, nc *NodeClient) {
+			defer wg.Done()
+			if _, err := nc.Run(d); err != nil {
+				errCh <- nodeErr{node: i, err: err}
+			}
+		}(i, nc)
+	}
+
+	rep, err := rf.Serve(l)
+	wg.Wait()
+	close(errCh)
+	if err != nil {
+		return rep, err
+	}
+	for ne := range errCh {
+		// Early close severs connections of nodes whose verdicts were no
+		// longer needed; their errors are expected, not failures.
+		if rep != nil && rep.Stats.EarlyClosed {
+			continue
+		}
+		return rep, fmt.Errorf("cluster: node %d: %w", ne.node, ne.err)
+	}
+	return rep, nil
+}
+
+// pipeListener hands out net.Pipe pairs through the net.Listener
+// interface, so the referee serves in-memory transports exactly as it
+// serves TCP.
+type pipeListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+// NewPipeListener returns an in-memory listener whose Dial returns the
+// client half of a fresh net.Pipe.
+func NewPipeListener() *pipeListener {
+	return &pipeListener{conns: make(chan net.Conn), done: make(chan struct{})}
+}
+
+// Accept returns the server half of the next dialed pipe.
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close stops the listener; pending and future Dials fail.
+func (l *pipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *pipeListener) Addr() net.Addr { return pipeAddr{} }
+
+// Dial creates a pipe and delivers the server half to Accept.
+func (l *pipeListener) Dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, net.ErrClosed
+	}
+}
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }

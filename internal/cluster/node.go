@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/rng"
+	"github.com/unifdist/unifdist/internal/tester"
+	"github.com/unifdist/unifdist/internal/wire"
+	"github.com/unifdist/unifdist/internal/zeroround"
+)
+
+// NodeClient is one network node speaking the cluster protocol: it draws
+// its sample block for every trial from the indexed randomness contract
+// (zeroround.VoteStream), runs its local tester, and submits the resulting
+// votes — or raw collision sketches in Config.Sketch mode — to the
+// referee, retrying on a fresh connection after transport errors.
+type NodeClient struct {
+	// ID is this node's index in [0, K); K the network size. Both are
+	// echoed in the Hello handshake and validated by the referee.
+	ID int
+	K  int
+	// Tester is the node's local tester (zeroround.(*Network).Node(ID)).
+	Tester tester.Tester
+	// Config carries the session parameters; it must match the referee's.
+	Config Config
+	// Dial opens a fresh connection to the referee.
+	Dial func() (net.Conn, error)
+	// Faults, when non-nil and active, injects transport faults into this
+	// node's vote frames; see FaultPlan.
+	Faults *FaultPlan
+}
+
+// Run computes the node's votes for every trial and submits them,
+// returning the referee's verdict broadcast. Votes are computed once, up
+// front — retries resubmit identical frames, so transport faults can
+// lose or duplicate votes but never change them. A session the referee
+// closed before sending a verdict returns an error; callers running
+// under Config.EarlyClose treat that as expected.
+func (nc *NodeClient) Run(d dist.Distribution) (wire.Verdict, error) {
+	cfg := nc.Config
+	if cfg.Trials <= 0 {
+		return wire.Verdict{}, fmt.Errorf("cluster: node %d: Trials must be > 0, got %d", nc.ID, cfg.Trials)
+	}
+	if cfg.Sketch && cfg.DomainN <= 0 {
+		return wire.Verdict{}, fmt.Errorf("cluster: node %d: Sketch mode needs DomainN > 0", nc.ID)
+	}
+
+	frames, err := nc.computeFrames(d)
+	if err != nil {
+		return wire.Verdict{}, err
+	}
+
+	backoff := cfg.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= cfg.Retries; attempt++ {
+		if attempt > 0 {
+			nc.Config.Obs.Counter("cluster.node_retries").Inc()
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
+		}
+		v, err := nc.submit(frames, attempt)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+	}
+	return wire.Verdict{}, fmt.Errorf("cluster: node %d: %w", nc.ID, lastErr)
+}
+
+// computeFrames runs the node's tester for every trial and encodes the
+// submission as ready-to-send frames. The sample stream of trial t is
+// fixed by (BaseSeed, t, ID) alone, so the frames are a pure function of
+// the configuration — independent of scheduling, attempts, or the other
+// nodes.
+func (nc *NodeClient) computeFrames(d dist.Distribution) ([]wire.Frame, error) {
+	g := rng.New(0)
+	s := nc.Tester.SampleSize()
+	block := make([]int, s)
+	var col dist.CollisionScratch
+	st, _ := nc.Tester.(tester.ScratchTester)
+
+	frames := make([]wire.Frame, 0, nc.Config.Trials)
+	for t := 0; t < nc.Config.Trials; t++ {
+		zeroround.VoteStream(g, nc.Config.BaseSeed, uint64(t), nc.ID, nc.K)
+		dist.SampleInto(d, block, g)
+		if nc.Config.Sketch {
+			// Raw sketch: the referee derives the single-collision vote as
+			// Collisions > 0, so this mode is only valid for testers where
+			// that derivation IS the test.
+			c := col.CountCollisions(nc.Config.DomainN, block)
+			frames = append(frames, &wire.Sketch{
+				Trial: uint32(t), Node: uint32(nc.ID),
+				Samples: uint32(s), Collisions: uint32(c),
+			})
+			continue
+		}
+		var accept bool
+		if st != nil {
+			accept = st.TestScratch(block, &col)
+		} else {
+			accept = nc.Tester.Test(block)
+		}
+		frames = append(frames, &wire.Vote{Trial: uint32(t), Node: uint32(nc.ID), Reject: !accept})
+	}
+	return frames, nil
+}
+
+// submit performs one connection attempt: handshake, vote stream, Done,
+// then blocks for the referee's verdict.
+func (nc *NodeClient) submit(frames []wire.Frame, attempt int) (wire.Verdict, error) {
+	conn, err := nc.Dial()
+	if err != nil {
+		return wire.Verdict{}, fmt.Errorf("dial: %w", err)
+	}
+	defer conn.Close()
+	// Per-attempt I/O bound: if the referee stalls or the link injects a
+	// disconnect mid-stream, the attempt fails here and the retry path
+	// takes over rather than hanging the node forever.
+	conn.SetDeadline(time.Now().Add(nc.Config.deadline())) //unifvet:allow wallclock per-attempt I/O safety bound; votes are precomputed and unaffected
+
+	lk := newLink(conn, nc.Faults, nc.ID, attempt, nc.Config.Obs)
+	hello := &wire.Hello{Node: uint32(nc.ID), K: uint32(nc.K), Trials: uint32(nc.Config.Trials)}
+	if err := lk.sendControl(hello); err != nil {
+		return wire.Verdict{}, fmt.Errorf("hello: %w", err)
+	}
+	for _, f := range frames {
+		if err := lk.sendVote(f); err != nil {
+			return wire.Verdict{}, fmt.Errorf("vote: %w", err)
+		}
+	}
+	if err := lk.sendControl(&wire.Done{Node: uint32(nc.ID)}); err != nil {
+		return wire.Verdict{}, fmt.Errorf("done: %w", err)
+	}
+
+	r := wire.NewReader(conn)
+	f, err := r.ReadFrame()
+	if err != nil {
+		return wire.Verdict{}, fmt.Errorf("verdict: %w", err)
+	}
+	v, ok := f.(*wire.Verdict)
+	if !ok {
+		return wire.Verdict{}, fmt.Errorf("verdict: unexpected frame type %d", f.Type())
+	}
+	return *v, nil
+}

@@ -1,0 +1,356 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/unifdist/unifdist/internal/obs"
+	"github.com/unifdist/unifdist/internal/wire"
+	"github.com/unifdist/unifdist/internal/zeroround"
+)
+
+// Referee is the decision service of a cluster session: it accepts node
+// connections, validates and deduplicates their votes, applies the
+// decision rule incrementally as votes arrive — reusing the rule's
+// EarlyDecider so a trial's verdict is fixed at the earliest possible
+// vote — and finalizes undecided trials through the quorum policy when
+// the session ends.
+//
+// A session ends on the first of: every node sent Done; every trial's
+// verdict is fixed (Config.EarlyClose); or the safety-net deadline
+// expired. At that point the referee broadcasts a wire.Verdict summary to
+// every connected node and closes the transport.
+type Referee struct {
+	k    int
+	rule zeroround.Rule
+	// early is rule as a zeroround.EarlyDecider, or nil; resolved once.
+	early zeroround.EarlyDecider
+	cfg   Config
+	reg   *obs.Registry
+
+	mu        sync.Mutex
+	voted     []uint64 // (trial, node) bitset, k*trials bits
+	rejects   []int
+	votes     []int
+	missing   []int
+	decided   []bool
+	verdict   []bool
+	early_    []bool // trial fixed by EarlyDecider before all votes
+	undecided int
+	nodeDone  []bool
+	doneCount int
+	conns     []net.Conn
+	closed    bool
+	stats     RefereeStats
+
+	trigger   chan struct{}
+	triggerMu sync.Once
+}
+
+// NewReferee builds a referee for a k-node network deciding with rule.
+func NewReferee(k int, rule zeroround.Rule, cfg Config) *Referee {
+	rf := &Referee{
+		k:         k,
+		rule:      rule,
+		cfg:       cfg,
+		reg:       cfg.Obs,
+		voted:     make([]uint64, (k*cfg.Trials+63)/64),
+		rejects:   make([]int, cfg.Trials),
+		votes:     make([]int, cfg.Trials),
+		missing:   make([]int, cfg.Trials),
+		decided:   make([]bool, cfg.Trials),
+		verdict:   make([]bool, cfg.Trials),
+		early_:    make([]bool, cfg.Trials),
+		undecided: cfg.Trials,
+		nodeDone:  make([]bool, k),
+		trigger:   make(chan struct{}),
+	}
+	if ed, ok := rule.(zeroround.EarlyDecider); ok {
+		rf.early = ed
+	}
+	return rf
+}
+
+// Serve runs one session on l and returns the referee's report. It always
+// closes l. Under QuorumStrict a session with missing votes returns the
+// report alongside a non-nil error.
+func (rf *Referee) Serve(l net.Listener) (*Report, error) {
+	if rf.cfg.Trials <= 0 {
+		l.Close()
+		return nil, fmt.Errorf("cluster: referee needs Trials > 0, got %d", rf.cfg.Trials)
+	}
+	deadline := rf.cfg.deadline()
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+
+	var wg sync.WaitGroup
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			rf.mu.Lock()
+			if rf.closed {
+				rf.mu.Unlock()
+				conn.Close()
+				continue
+			}
+			rf.conns = append(rf.conns, conn)
+			rf.stats.Connections++
+			// Add inside the critical section: finalize sets closed under
+			// the same mutex, so no handler can appear after the session
+			// closed and before wg.Wait below.
+			wg.Add(1)
+			rf.mu.Unlock()
+			rf.reg.Counter("cluster.connections").Inc()
+			go func() {
+				defer wg.Done()
+				// Absolute per-connection read bound: a stalled peer cannot
+				// hold its handler past the session deadline.
+				end := time.Now().Add(deadline) //unifvet:allow wallclock connection-deadline safety net; verdicts depend only on which votes arrive
+				rf.handle(conn, end)
+			}()
+		}
+	}()
+
+	select {
+	case <-rf.trigger:
+	case <-timer.C:
+		rf.mu.Lock()
+		rf.stats.DeadlineExpired = true
+		rf.mu.Unlock()
+	}
+	l.Close()
+
+	rep, sum, conns := rf.finalize()
+	for _, c := range conns {
+		// Bounded best-effort verdict delivery: a node that already went
+		// away must not stall shutdown (net.Pipe writes block until read).
+		c.SetWriteDeadline(time.Now().Add(time.Second)) //unifvet:allow wallclock bounded best-effort verdict broadcast on shutdown
+		_ = wire.WriteFrame(c, &sum)
+		c.Close()
+	}
+	wg.Wait()
+
+	if rf.cfg.Policy == QuorumStrict && rep.MissingVotes > 0 {
+		return rep, fmt.Errorf("cluster: strict quorum: %d votes missing across %d trials", rep.MissingVotes, rep.QuorumTrials)
+	}
+	return rep, nil
+}
+
+// handle drains one connection's frame stream into the aggregator.
+func (rf *Referee) handle(conn net.Conn, end time.Time) {
+	conn.SetReadDeadline(end)
+	r := wire.NewReader(conn)
+	node := -1 // set by Hello
+	frameBytes := rf.reg.Histogram("cluster.frame_bytes", obs.BytesBuckets())
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			// EOF, peer close, injected disconnect, or codec error: codec
+			// errors count as a bad frame, transport ends either way.
+			if !isClosedErr(err) {
+				rf.countBadFrame()
+			}
+			return
+		}
+		n := wire.EncodedSize(f)
+		frameBytes.Observe(int64(n))
+		rf.mu.Lock()
+		rf.stats.Frames++
+		rf.stats.Bytes += int64(n)
+		rf.mu.Unlock()
+		rf.reg.Counter("cluster.frames").Inc()
+
+		switch m := f.(type) {
+		case *wire.Hello:
+			if int(m.K) != rf.k || int(m.Trials) != rf.cfg.Trials || int(m.Node) >= rf.k {
+				rf.countBadFrame()
+				conn.Close()
+				return
+			}
+			node = int(m.Node)
+		case *wire.Vote:
+			if node < 0 || int(m.Node) != node {
+				rf.countBadFrame()
+				continue
+			}
+			rf.record(int(m.Trial), node, m.Reject)
+		case *wire.Sketch:
+			if node < 0 || int(m.Node) != node {
+				rf.countBadFrame()
+				continue
+			}
+			// Single-collision vote derived server-side: reject iff the
+			// node saw any colliding pair.
+			rf.record(int(m.Trial), node, m.Collisions > 0)
+		case *wire.Done:
+			if node < 0 || int(m.Node) != node {
+				rf.countBadFrame()
+				continue
+			}
+			rf.markDone(node)
+			// The node sends nothing further; keep the connection open for
+			// the verdict broadcast and release the handler.
+			return
+		default:
+			rf.countBadFrame()
+		}
+	}
+}
+
+// record registers one deduplicated vote and advances the trial's
+// incremental decision.
+func (rf *Referee) record(trial, node int, reject bool) {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	if rf.closed {
+		return
+	}
+	if trial < 0 || trial >= rf.cfg.Trials {
+		rf.stats.BadFrames++
+		rf.reg.Counter("cluster.bad_frames").Inc()
+		return
+	}
+	idx := trial*rf.k + node
+	if rf.voted[idx/64]&(1<<(idx%64)) != 0 {
+		rf.stats.DuplicateVotes++
+		rf.reg.Counter("cluster.votes_dup").Inc()
+		return
+	}
+	rf.voted[idx/64] |= 1 << (idx % 64)
+	rf.votes[trial]++
+	if reject {
+		rf.rejects[trial]++
+	}
+	rf.stats.Votes++
+	rf.reg.Counter("cluster.votes").Inc()
+
+	if rf.decided[trial] {
+		return
+	}
+	switch {
+	case rf.votes[trial] == rf.k:
+		rf.settle(trial, rf.rule.Accept(rf.rejects[trial], rf.k), false)
+	case rf.early != nil:
+		if accept, done := rf.early.Decided(rf.rejects[trial], rf.k-rf.votes[trial]); done {
+			rf.settle(trial, accept, true)
+		}
+	}
+}
+
+// settle fixes a trial's verdict; callers hold rf.mu.
+func (rf *Referee) settle(trial int, accept, early bool) {
+	rf.decided[trial] = true
+	rf.verdict[trial] = accept
+	rf.early_[trial] = early
+	rf.undecided--
+	if rf.undecided == 0 && rf.cfg.EarlyClose {
+		rf.stats.EarlyClosed = true
+		rf.fire()
+	}
+}
+
+// markDone registers a node's Done marker; the session ends when all k
+// nodes reported done.
+func (rf *Referee) markDone(node int) {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	if rf.closed || rf.nodeDone[node] {
+		return
+	}
+	rf.nodeDone[node] = true
+	rf.doneCount++
+	if rf.doneCount == rf.k {
+		rf.fire()
+	}
+}
+
+// fire triggers session finalization once; callers hold rf.mu.
+func (rf *Referee) fire() {
+	rf.triggerMu.Do(func() { close(rf.trigger) })
+}
+
+// countBadFrame tallies a rejected frame.
+func (rf *Referee) countBadFrame() {
+	rf.mu.Lock()
+	rf.stats.BadFrames++
+	rf.mu.Unlock()
+	rf.reg.Counter("cluster.bad_frames").Inc()
+}
+
+// finalize decides the remaining trials via the quorum policy and
+// assembles the report, the verdict broadcast frame, and the connections
+// to flush it to.
+func (rf *Referee) finalize() (*Report, wire.Verdict, []net.Conn) {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	rf.closed = true
+
+	rep := &Report{
+		K:        rf.k,
+		Trials:   rf.cfg.Trials,
+		Verdicts: make([]bool, rf.cfg.Trials),
+		Rejects:  append([]int(nil), rf.rejects...),
+		Votes:    append([]int(nil), rf.votes...),
+		Missing:  make([]int, rf.cfg.Trials),
+	}
+	for t := 0; t < rf.cfg.Trials; t++ {
+		if !rf.decided[t] {
+			// Quorum fallback: decide from the votes that arrived; the
+			// absent votes count as accepts.
+			rf.verdict[t] = rf.rule.Accept(rf.rejects[t], rf.k)
+			rf.decided[t] = true
+			rf.missing[t] = rf.k - rf.votes[t]
+			rep.QuorumTrials++
+		}
+		if rf.early_[t] {
+			rep.EarlyTrials++
+		}
+		rep.Verdicts[t] = rf.verdict[t]
+		rep.Missing[t] = rf.missing[t]
+		rep.MissingVotes += rf.missing[t]
+		if rf.verdict[t] {
+			rep.Accepts++
+		}
+	}
+	rep.Stats = rf.stats
+	rf.reg.Counter("cluster.votes_missing").Add(int64(rep.MissingVotes))
+
+	sum := wire.Verdict{
+		Trials:  uint32(rep.Trials),
+		Accepts: uint32(rep.Accepts),
+		Missing: uint32(rep.MissingVotes),
+	}
+	conns := rf.conns
+	rf.conns = nil
+	return rep, sum, conns
+}
+
+// isClosedErr reports whether err is an orderly end of stream rather than
+// a protocol violation: EOF, a closed/reset transport, or a deadline.
+func isClosedErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	s := err.Error()
+	for _, sub := range []string{"closed pipe", "use of closed network connection", "connection reset", "broken pipe"} {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}

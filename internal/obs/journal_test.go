@@ -148,6 +148,14 @@ func TestProvenanceAndDocument(t *testing.T) {
 	if p.Tool != "unifbench" || p.Seed != 7 || p.GoVersion == "" || p.GOMAXPROCS < 1 {
 		t.Errorf("provenance incomplete: %+v", p)
 	}
+	// Hostname and PID tell concurrent multi-process cluster runs apart in
+	// merged journals; PID must be this process, hostname the OS's answer.
+	if p.PID != os.Getpid() {
+		t.Errorf("provenance pid = %d, want %d", p.PID, os.Getpid())
+	}
+	if host, err := os.Hostname(); err == nil && p.Hostname != host {
+		t.Errorf("provenance hostname = %q, want %q", p.Hostname, host)
+	}
 	snap := Snapshot{Counters: map[string]int64{"x": 1}}
 	var buf bytes.Buffer
 	doc := Document{Provenance: p, Results: map[string]any{"tables": []string{"E1"}}, Metrics: &snap}

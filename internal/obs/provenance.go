@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"time"
@@ -22,6 +23,10 @@ type Provenance struct {
 	GOARCH     string   `json:"goarch"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	NumCPU     int      `json:"num_cpu"`
+	// Hostname and PID identify the emitting process — the keys that tell
+	// multi-process cluster runs' journals apart when they are merged.
+	Hostname string `json:"hostname,omitempty"`
+	PID      int    `json:"pid"`
 	// Workers is the requested worker-pool bound (0 = GOMAXPROCS); results
 	// are worker-count-invariant, so this explains timings, not numbers.
 	Workers int `json:"workers,omitempty"`
@@ -45,7 +50,11 @@ func CollectProvenance(tool, mode string, seed uint64, args []string) Provenance
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		PID:        os.Getpid(),
 		Start:      time.Now().Format(time.RFC3339),
+	}
+	if host, err := os.Hostname(); err == nil {
+		p.Hostname = host
 	}
 	if info, ok := debug.ReadBuildInfo(); ok {
 		for _, s := range info.Settings {

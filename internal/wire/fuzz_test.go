@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// FuzzWireRoundTrip drives the codec from both ends. Structured inputs
+// build one frame of every type from the fuzzed fields and assert the
+// encode→decode round trip is lossless through both Decode and Reader;
+// the raw tail bytes are then decoded as-is to assert adversarial input
+// never panics and only ever fails with the codec's typed errors —
+// truncated, oversized, bad-version, unknown-type and mis-sized frames
+// all degrade to errors, exactly as a referee facing a hostile peer
+// requires.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint32(0), uint32(0), false, []byte{})
+	f.Add(uint32(7), uint32(2000), uint32(60), uint32(3), true, Append(nil, &Vote{Trial: 1, Node: 2, Reject: true}))
+	f.Add(uint32(1<<31), uint32(1), uint32(1<<20), uint32(9), false, []byte{0, 0, 0, 200, 1, 2})
+	f.Add(uint32(3), uint32(4), uint32(5), uint32(6), true, []byte{0, 0, 0, 2, 2, 2})
+	f.Add(uint32(0), uint32(1), uint32(2), uint32(3), false, []byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, a, b, c, d uint32, flag bool, raw []byte) {
+		frames := []Frame{
+			&Hello{Node: a, K: b, Trials: c},
+			&Vote{Trial: a, Node: b, Reject: flag},
+			&Sketch{Trial: a, Node: b, Samples: c, Collisions: d},
+			&Done{Node: d},
+			&Verdict{Trials: a, Accepts: b, Missing: c},
+		}
+		var stream []byte
+		for _, fr := range frames {
+			enc := Append(nil, fr)
+			if len(enc) != EncodedSize(fr) {
+				t.Fatalf("%T: encoded %d bytes, EncodedSize %d", fr, len(enc), EncodedSize(fr))
+			}
+			if len(enc)-4 > MaxFrameBytes {
+				t.Fatalf("%T: frame body %d bytes exceeds MaxFrameBytes", fr, len(enc)-4)
+			}
+			got, n, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("%T: decode own encoding: %v", fr, err)
+			}
+			if n != len(enc) {
+				t.Fatalf("%T: consumed %d of %d", fr, n, len(enc))
+			}
+			if !reflect.DeepEqual(got, fr) {
+				t.Fatalf("round trip: got %#v, want %#v", got, fr)
+			}
+			stream = append(stream, enc...)
+		}
+		// The same frames concatenated must stream-decode in order.
+		r := NewReader(bytes.NewReader(stream))
+		for i, want := range frames {
+			got, err := r.ReadFrame()
+			if err != nil {
+				t.Fatalf("stream frame %d: %v", i, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("stream frame %d: got %#v, want %#v", i, got, want)
+			}
+		}
+		if _, err := r.ReadFrame(); err != io.EOF {
+			t.Fatalf("stream end: err = %v, want io.EOF", err)
+		}
+
+		// Adversarial path: arbitrary bytes must decode to a frame or a
+		// typed codec error, never panic, and consumed bytes must stay in
+		// bounds.
+		checkErr := func(err error) {
+			if err == nil || err == io.EOF {
+				return
+			}
+			for _, known := range []error{ErrTruncated, ErrOversize, ErrVersion, ErrUnknownType, ErrFrameSize} {
+				if errors.Is(err, known) {
+					return
+				}
+			}
+			t.Fatalf("unexpected error class: %v", err)
+		}
+		fr, n, err := Decode(raw)
+		if err == nil {
+			if fr == nil || n < 4 || n > len(raw) {
+				t.Fatalf("Decode(raw) = (%v, %d, nil) on %d bytes", fr, n, len(raw))
+			}
+			// Whatever decoded must re-encode to the exact consumed bytes.
+			if re := Append(nil, fr); !bytes.Equal(re, raw[:n]) {
+				t.Fatalf("re-encode mismatch: %x vs %x", re, raw[:n])
+			}
+		} else {
+			checkErr(err)
+		}
+		rr := NewReader(bytes.NewReader(raw))
+		for {
+			_, err := rr.ReadFrame()
+			if err != nil {
+				checkErr(err)
+				break
+			}
+		}
+	})
+}

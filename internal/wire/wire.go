@@ -1,0 +1,346 @@
+// Package wire is the cluster runtime's binary codec: a length-prefixed,
+// versioned framing for the messages the 0-round protocols exchange over
+// real connections — a node's Hello, its per-trial Vote (or collision
+// Sketch), the Done marker closing its vote stream, and the referee's
+// Verdict.
+//
+// Every frame on the wire is
+//
+//	[4-byte big-endian frame length][1-byte version][1-byte type][payload]
+//
+// where the length counts the version, type and payload bytes (not the
+// prefix itself). Frames are tiny and fixed-size per type; the decoder
+// enforces both the per-type payload size and a global MaxFrameBytes cap
+// before reading a body, mirroring the simulator's CONGEST bandwidth check
+// (simnet.ErrBandwidthExceeded): a peer cannot make the referee allocate or
+// buffer unbounded memory by lying in the length prefix, and an oversized
+// frame is a protocol error, not a crash.
+//
+// Decoding never panics on adversarial input: truncated, oversized,
+// wrong-version, unknown-type and mis-sized frames all surface as typed
+// errors (ErrTruncated, ErrOversize, ErrVersion, ErrUnknownType,
+// ErrFrameSize), which FuzzWireRoundTrip pins.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version stamped into (and required of) every
+// frame.
+const Version = 1
+
+// MaxFrameBytes caps the on-wire frame length (version + type + payload).
+// All defined frames are ≤ 18 bytes; the cap leaves headroom for future
+// frame types while keeping the referee's per-connection buffer trivially
+// bounded — the cluster analogue of the CONGEST per-edge bandwidth limit.
+const MaxFrameBytes = 64
+
+// headerBytes is the length prefix size.
+const headerBytes = 4
+
+// Frame type identifiers.
+const (
+	// TypeHello opens a node's session: node ID, network size, trial count.
+	TypeHello = byte(iota + 1)
+	// TypeVote carries one node's accept/reject for one trial.
+	TypeVote
+	// TypeSketch carries one node's raw collision statistic for one trial,
+	// letting the referee derive the vote server-side (single-collision
+	// testers: reject iff Collisions > 0).
+	TypeSketch
+	// TypeDone marks the end of a node's vote stream.
+	TypeDone
+	// TypeVerdict is the referee's closing summary to each node.
+	TypeVerdict
+)
+
+// Codec errors. Decode and ReadFrame wrap these with positional detail;
+// match with errors.Is.
+var (
+	// ErrTruncated marks a frame cut short: a header or body shorter than
+	// its declared length.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrOversize marks a length prefix beyond MaxFrameBytes.
+	ErrOversize = errors.New("wire: frame exceeds size limit")
+	// ErrVersion marks a version byte other than Version.
+	ErrVersion = errors.New("wire: unsupported protocol version")
+	// ErrUnknownType marks an unrecognized frame type byte.
+	ErrUnknownType = errors.New("wire: unknown frame type")
+	// ErrFrameSize marks a known frame type with the wrong payload size.
+	ErrFrameSize = errors.New("wire: wrong payload size for frame type")
+)
+
+// Frame is one protocol message. Implementations are small value types;
+// encoding is allocation-free via AppendTo.
+type Frame interface {
+	// Type returns the frame's type byte.
+	Type() byte
+	// payloadSize returns the exact encoded payload length.
+	payloadSize() int
+	// appendPayload appends the payload encoding to dst.
+	appendPayload(dst []byte) []byte
+	// decodePayload parses a payload of exactly payloadSize bytes.
+	decodePayload(p []byte) error
+}
+
+// Hello opens a node's session with the referee.
+type Hello struct {
+	// Node is the sender's ID in [0, K).
+	Node uint32
+	// K is the network size the node was configured with; the referee
+	// rejects mismatches.
+	K uint32
+	// Trials is the number of votes the node will submit.
+	Trials uint32
+}
+
+// Vote is one node's verdict on one trial.
+type Vote struct {
+	// Trial indexes the Monte-Carlo trial in [0, Trials).
+	Trial uint32
+	// Node is the voting node's ID.
+	Node uint32
+	// Reject is true when the node's tester rejected its sample block.
+	Reject bool
+}
+
+// Sketch is the raw statistic behind a vote: the node's sample count and
+// collision count for one trial. For single-collision testers the referee
+// derives Reject = Collisions > 0, so Vote and Sketch submissions yield
+// identical verdicts.
+type Sketch struct {
+	Trial uint32
+	Node  uint32
+	// Samples is the number of samples the node drew this trial.
+	Samples uint32
+	// Collisions is the number of colliding pairs among them.
+	Collisions uint32
+}
+
+// Done closes a node's vote stream; the referee treats the node as
+// complete even if some of its votes were lost in transit.
+type Done struct {
+	Node uint32
+}
+
+// Verdict is the referee's closing summary, broadcast to every node still
+// connected when the run finalizes.
+type Verdict struct {
+	// Trials is the number of trials decided; Accepts of them accepted.
+	Trials  uint32
+	Accepts uint32
+	// Missing is the total number of votes that never arrived (decided by
+	// quorum policy instead).
+	Missing uint32
+}
+
+func (Hello) Type() byte   { return TypeHello }
+func (Vote) Type() byte    { return TypeVote }
+func (Sketch) Type() byte  { return TypeSketch }
+func (Done) Type() byte    { return TypeDone }
+func (Verdict) Type() byte { return TypeVerdict }
+
+func (Hello) payloadSize() int   { return 12 }
+func (Vote) payloadSize() int    { return 9 }
+func (Sketch) payloadSize() int  { return 16 }
+func (Done) payloadSize() int    { return 4 }
+func (Verdict) payloadSize() int { return 12 }
+
+func (h Hello) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, h.Node)
+	dst = binary.BigEndian.AppendUint32(dst, h.K)
+	return binary.BigEndian.AppendUint32(dst, h.Trials)
+}
+
+func (h *Hello) decodePayload(p []byte) error {
+	h.Node = binary.BigEndian.Uint32(p[0:4])
+	h.K = binary.BigEndian.Uint32(p[4:8])
+	h.Trials = binary.BigEndian.Uint32(p[8:12])
+	return nil
+}
+
+func (v Vote) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, v.Trial)
+	dst = binary.BigEndian.AppendUint32(dst, v.Node)
+	flag := byte(0)
+	if v.Reject {
+		flag = 1
+	}
+	return append(dst, flag)
+}
+
+func (v *Vote) decodePayload(p []byte) error {
+	v.Trial = binary.BigEndian.Uint32(p[0:4])
+	v.Node = binary.BigEndian.Uint32(p[4:8])
+	switch p[8] {
+	case 0:
+		v.Reject = false
+	case 1:
+		v.Reject = true
+	default:
+		return fmt.Errorf("%w: vote flag %d", ErrFrameSize, p[8])
+	}
+	return nil
+}
+
+func (s Sketch) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, s.Trial)
+	dst = binary.BigEndian.AppendUint32(dst, s.Node)
+	dst = binary.BigEndian.AppendUint32(dst, s.Samples)
+	return binary.BigEndian.AppendUint32(dst, s.Collisions)
+}
+
+func (s *Sketch) decodePayload(p []byte) error {
+	s.Trial = binary.BigEndian.Uint32(p[0:4])
+	s.Node = binary.BigEndian.Uint32(p[4:8])
+	s.Samples = binary.BigEndian.Uint32(p[8:12])
+	s.Collisions = binary.BigEndian.Uint32(p[12:16])
+	return nil
+}
+
+func (d Done) appendPayload(dst []byte) []byte {
+	return binary.BigEndian.AppendUint32(dst, d.Node)
+}
+
+func (d *Done) decodePayload(p []byte) error {
+	d.Node = binary.BigEndian.Uint32(p[0:4])
+	return nil
+}
+
+func (v Verdict) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, v.Trials)
+	dst = binary.BigEndian.AppendUint32(dst, v.Accepts)
+	return binary.BigEndian.AppendUint32(dst, v.Missing)
+}
+
+func (v *Verdict) decodePayload(p []byte) error {
+	v.Trials = binary.BigEndian.Uint32(p[0:4])
+	v.Accepts = binary.BigEndian.Uint32(p[4:8])
+	v.Missing = binary.BigEndian.Uint32(p[8:12])
+	return nil
+}
+
+// Append appends f's full wire encoding (length prefix, version, type,
+// payload) to dst and returns the extended slice.
+func Append(dst []byte, f Frame) []byte {
+	n := 2 + f.payloadSize() // version + type + payload
+	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
+	dst = append(dst, Version, f.Type())
+	return f.appendPayload(dst)
+}
+
+// EncodedSize returns the full on-wire size of f including the length
+// prefix.
+func EncodedSize(f Frame) int { return headerBytes + 2 + f.payloadSize() }
+
+// Decode parses one frame from the front of b, returning the frame and the
+// number of bytes consumed. An incomplete buffer returns ErrTruncated (a
+// stream reader should read more and retry); a malformed one returns
+// ErrOversize, ErrVersion, ErrUnknownType or ErrFrameSize.
+func Decode(b []byte) (Frame, int, error) {
+	if len(b) < headerBytes {
+		return nil, 0, fmt.Errorf("%w: %d header bytes", ErrTruncated, len(b))
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n > MaxFrameBytes {
+		return nil, 0, fmt.Errorf("%w: declared %d bytes (limit %d)", ErrOversize, n, MaxFrameBytes)
+	}
+	if n < 2 {
+		return nil, 0, fmt.Errorf("%w: declared %d bytes, need ≥ 2", ErrFrameSize, n)
+	}
+	total := headerBytes + int(n)
+	if len(b) < total {
+		return nil, 0, fmt.Errorf("%w: have %d of %d bytes", ErrTruncated, len(b), total)
+	}
+	f, err := decodeBody(b[headerBytes:total])
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, total, nil
+}
+
+// decodeBody parses version, type and payload from a complete frame body.
+func decodeBody(body []byte) (Frame, error) {
+	if body[0] != Version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, body[0], Version)
+	}
+	var f Frame
+	switch t := body[1]; t {
+	case TypeHello:
+		f = &Hello{}
+	case TypeVote:
+		f = &Vote{}
+	case TypeSketch:
+		f = &Sketch{}
+	case TypeDone:
+		f = &Done{}
+	case TypeVerdict:
+		f = &Verdict{}
+	default:
+		return nil, fmt.Errorf("%w: type %d", ErrUnknownType, t)
+	}
+	payload := body[2:]
+	if len(payload) != f.payloadSize() {
+		return nil, fmt.Errorf("%w: type %d payload %d bytes, want %d",
+			ErrFrameSize, body[1], len(payload), f.payloadSize())
+	}
+	if err := f.decodePayload(payload); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// WriteFrame writes f's encoding to w in one Write call (frames are small
+// enough that partial writes only occur on a failing connection).
+func WriteFrame(w io.Writer, f Frame) error {
+	buf := make([]byte, 0, EncodedSize(f))
+	buf = Append(buf, f)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("wire: write %T: %w", f, err)
+	}
+	return nil
+}
+
+// Reader decodes a frame stream from an io.Reader with a single reusable
+// buffer bounded by MaxFrameBytes.
+type Reader struct {
+	r   io.Reader
+	buf [headerBytes + MaxFrameBytes]byte
+}
+
+// NewReader wraps r as a frame stream.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadFrame reads and decodes the next frame. io.EOF is returned unwrapped
+// at a clean frame boundary; an EOF mid-frame surfaces as ErrTruncated.
+func (r *Reader) ReadFrame() (Frame, error) {
+	head := r.buf[:headerBytes]
+	if _, err := io.ReadFull(r.r, head); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: EOF inside length prefix", ErrTruncated)
+		}
+		return nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(head)
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("%w: declared %d bytes (limit %d)", ErrOversize, n, MaxFrameBytes)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("%w: declared %d bytes, need ≥ 2", ErrFrameSize, n)
+	}
+	body := r.buf[headerBytes : headerBytes+int(n)]
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: EOF inside %d-byte body", ErrTruncated, n)
+		}
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	return decodeBody(body)
+}

@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// everyFrame returns one instance of each frame type with distinctive
+// field values.
+func everyFrame() []Frame {
+	return []Frame{
+		&Hello{Node: 7, K: 2000, Trials: 60},
+		&Vote{Trial: 3, Node: 1999, Reject: true},
+		&Vote{Trial: 0, Node: 0, Reject: false},
+		&Sketch{Trial: 12, Node: 5, Samples: 48, Collisions: 2},
+		&Done{Node: 42},
+		&Verdict{Trials: 60, Accepts: 59, Missing: 3},
+	}
+}
+
+func TestRoundTripEveryType(t *testing.T) {
+	for _, f := range everyFrame() {
+		buf := Append(nil, f)
+		if len(buf) != EncodedSize(f) {
+			t.Errorf("%T: encoded %d bytes, EncodedSize says %d", f, len(buf), EncodedSize(f))
+		}
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", f, err)
+		}
+		if n != len(buf) {
+			t.Errorf("%T: consumed %d of %d bytes", f, n, len(buf))
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Errorf("round trip: got %#v, want %#v", got, f)
+		}
+	}
+}
+
+func TestReaderStream(t *testing.T) {
+	frames := everyFrame()
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, want := range frames {
+		got, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("frame %d: got %#v, want %#v", i, got, want)
+		}
+	}
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	full := Append(nil, &Vote{Trial: 1, Node: 2, Reject: true})
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := Decode(full[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestReaderRejectsMidFrameEOF(t *testing.T) {
+	full := Append(nil, &Sketch{Trial: 1, Node: 2, Samples: 3, Collisions: 1})
+	for cut := 1; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		if _, err := r.ReadFrame(); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestDecodeRejectsOversize(t *testing.T) {
+	var b []byte
+	b = binary.BigEndian.AppendUint32(b, MaxFrameBytes+1)
+	b = append(b, make([]byte, MaxFrameBytes+1)...)
+	if _, _, err := Decode(b); !errors.Is(err, ErrOversize) {
+		t.Fatalf("err = %v, want ErrOversize", err)
+	}
+	if _, err := NewReader(bytes.NewReader(b)).ReadFrame(); !errors.Is(err, ErrOversize) {
+		t.Fatalf("reader err = %v, want ErrOversize", err)
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	b := Append(nil, &Done{Node: 1})
+	b[4] = Version + 1
+	if _, _, err := Decode(b); !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestDecodeRejectsUnknownType(t *testing.T) {
+	b := Append(nil, &Done{Node: 1})
+	b[5] = 0xEE
+	if _, _, err := Decode(b); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("err = %v, want ErrUnknownType", err)
+	}
+}
+
+func TestDecodeRejectsWrongPayloadSize(t *testing.T) {
+	// A Done frame claiming a Hello-sized payload.
+	var b []byte
+	b = binary.BigEndian.AppendUint32(b, 2+12)
+	b = append(b, Version, TypeDone)
+	b = append(b, make([]byte, 12)...)
+	if _, _, err := Decode(b); !errors.Is(err, ErrFrameSize) {
+		t.Fatalf("err = %v, want ErrFrameSize", err)
+	}
+}
+
+func TestDecodeRejectsBadVoteFlag(t *testing.T) {
+	b := Append(nil, &Vote{Trial: 1, Node: 2})
+	b[len(b)-1] = 7 // flag byte must be 0 or 1
+	if _, _, err := Decode(b); !errors.Is(err, ErrFrameSize) {
+		t.Fatalf("err = %v, want ErrFrameSize", err)
+	}
+}
+
+func TestDecodeConsumesOneFrameOfMany(t *testing.T) {
+	first := Append(nil, &Vote{Trial: 9, Node: 1, Reject: true})
+	b := Append(append([]byte(nil), first...), &Done{Node: 1})
+	f, n, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(first) {
+		t.Fatalf("consumed %d, want %d", n, len(first))
+	}
+	if v, ok := f.(*Vote); !ok || v.Trial != 9 {
+		t.Fatalf("first frame = %#v", f)
+	}
+}

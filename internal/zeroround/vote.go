@@ -1,0 +1,89 @@
+package zeroround
+
+import (
+	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/rng"
+	"github.com/unifdist/unifdist/internal/tester"
+)
+
+// This file is the network's vote contract with the cluster runtime
+// (internal/cluster): an indexed randomness assignment that names every
+// (trial, node) sample stream independently of execution order.
+//
+// Run and RunWith draw all nodes' samples from one sequential stream, so
+// node i's samples depend on how many draws nodes 0…i−1 consumed — fine in
+// a single-threaded simulator, impossible to reproduce when k real machines
+// sample concurrently. VoteStream instead derives node i's generator for
+// trial t directly from (base, t, i), so a distributed execution — any
+// connection ordering, any scheduling, any retry — produces exactly the
+// votes of the in-process reference execution RunAt. The cluster's
+// differential tests pin this equivalence trial for trial.
+
+// VoteStream seeds g as the private sample stream of node `node` in trial
+// `trial` of a k-node indexed execution with base seed base. Streams for
+// distinct (trial, node) pairs are statistically independent (rng.SeedAt),
+// and the mapping is pure: any party that knows (base, k) can reproduce any
+// node's randomness for any trial.
+func VoteStream(g *rng.RNG, base, trial uint64, node, k int) {
+	g.SeedAt(base, trial*uint64(k)+uint64(node))
+}
+
+// Node returns node i's tester (the vote hook the cluster node client runs
+// against its own sample block).
+func (nw *Network) Node(i int) tester.Tester { return nw.nodes[i] }
+
+// VoteAt computes node `node`'s vote for indexed trial `trial`: it reseeds
+// g via VoteStream, draws the node's sample block from d through the batch
+// kernels, and returns true when the node rejects. A nil sc allocates
+// per call; Monte-Carlo loops should reuse one Scratch.
+func (nw *Network) VoteAt(d dist.Distribution, base, trial uint64, node int, g *rng.RNG, sc *Scratch) (reject bool) {
+	if sc == nil {
+		sc = nw.NewScratch()
+	}
+	VoteStream(g, base, trial, node, len(nw.nodes))
+	nd := nw.nodes[node]
+	block := sc.buf[:nd.SampleSize()]
+	dist.SampleInto(d, block, g)
+	if st := nw.scratchNodes[node]; st != nil {
+		return !st.TestScratch(block, sc.col)
+	}
+	return !nd.Test(block)
+}
+
+// RunAt executes indexed trial `trial` in full — every node votes through
+// VoteAt, no early stopping — and returns the network verdict with the
+// rejecting-node count. It is the order-independent reference execution
+// the cluster runtime is differentially tested against: permuting the node
+// loop (or distributing it over real connections) cannot change the
+// result, because each node's randomness is fixed by (base, trial, node)
+// alone. nil g or sc allocate per call.
+func (nw *Network) RunAt(d dist.Distribution, base, trial uint64, g *rng.RNG, sc *Scratch) (accept bool, rejects int) {
+	if g == nil {
+		g = rng.New(0)
+	}
+	if sc == nil {
+		sc = nw.NewScratch()
+	}
+	for i := range nw.nodes {
+		if nw.VoteAt(d, base, trial, i, g, sc) {
+			rejects++
+		}
+	}
+	return nw.rule.Accept(rejects, len(nw.nodes)), rejects
+}
+
+// EstimateErrorAt is EstimateError over the indexed execution RunAt:
+// the fraction of trials [0, trials) whose verdict differs from
+// wantAccept. It consumes no generator state beyond the base it is given,
+// so it names the exact trial set a cluster run at the same base executes.
+func (nw *Network) EstimateErrorAt(d dist.Distribution, wantAccept bool, trials int, base uint64) float64 {
+	g := rng.New(0)
+	sc := nw.NewScratch()
+	wrong := 0
+	for t := 0; t < trials; t++ {
+		if accept, _ := nw.RunAt(d, base, uint64(t), g, sc); accept != wantAccept {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(trials)
+}
