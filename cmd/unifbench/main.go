@@ -7,7 +7,7 @@
 //
 //	unifbench [-mode quick|full] [-run E1,E3,...] [-csv|-markdown|-json]
 //	          [-seed N] [-workers N] [-list] [-journal run.jsonl]
-//	          [-cpuprofile cpu.out] [-memprofile mem.out]
+//	          [-obs-addr :9090] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -json emits one machine-readable run document (provenance, per-experiment
 // tables with durations and metric deltas, and the full metrics snapshot)
@@ -28,6 +28,7 @@ import (
 
 	"github.com/unifdist/unifdist/internal/experiment"
 	"github.com/unifdist/unifdist/internal/obs"
+	"github.com/unifdist/unifdist/internal/obs/export"
 )
 
 func main() {
@@ -36,6 +37,10 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// obsReady is called with the bound obs-server address once it is
+// listening; tests override it to discover a ":0" port.
+var obsReady = func(string) {}
 
 // experimentResult is one experiment's entry in the -json document.
 type experimentResult struct {
@@ -56,6 +61,7 @@ func run(args []string, stdout io.Writer) error {
 		workersFlag = fs.Int("workers", 0, "worker goroutines for sweep rows and trial batches (0 = GOMAXPROCS; tables are identical at any value)")
 		listFlag    = fs.Bool("list", false, "list experiments and exit")
 		journalFlag = fs.String("journal", "", "write per-experiment and per-round events to this JSONL file")
+		obsAddr     = fs.String("obs-addr", "", "serve live /metrics, /healthz, /runz and pprof on this address while the experiments run")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -128,6 +134,28 @@ func run(args []string, stdout io.Writer) error {
 			Kind       string         `json:"kind"`
 			Provenance obs.Provenance `json:"provenance"`
 		}{Kind: "run_start", Provenance: prov})
+	}
+	if *obsAddr != "" {
+		if rec.Reg() == nil {
+			rec.Registry = obs.NewRegistry()
+		}
+		// Copy the provenance by value: the run loop fills in WallMS later
+		// while /runz handlers may be reading.
+		provCopy := prov
+		obsReg := rec.Reg()
+		srv := export.New(obsReg, export.WithRunz(func() any {
+			return map[string]any{
+				"provenance": provCopy,
+				"metrics":    obsReg.Snapshot(),
+			}
+		}))
+		bound, err := srv.Start(*obsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "unifbench: obs server listening on http://%s\n", bound)
+		obsReady(bound)
 	}
 	if !rec.Enabled() {
 		rec = nil

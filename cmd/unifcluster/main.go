@@ -10,11 +10,14 @@
 //	            [-seed 1] [-transport pipe|tcp] [-policy observed|strict]
 //	            [-early] [-sketch] [-drop 0] [-dup 0] [-disconnect 0]
 //	            [-delay 0] [-fault-seed 1] [-retries 0] [-backoff 5ms]
-//	            [-deadline 10s] [-json] [-journal run.jsonl]
+//	            [-deadline 10s] [-json] [-journal run.jsonl] [-obs-addr :9090]
 //
 // -json replaces the human-readable summary with the machine-readable run
 // document every other command emits (provenance + results + metrics);
-// -journal streams per-trial verdict events as JSON Lines.
+// -journal streams per-trial verdict events — and, with it, the telemetry
+// plane's linked span records — as JSON Lines; -obs-addr serves live
+// /metrics, /healthz, /runz and pprof over HTTP for the duration of the
+// run (the bound address is printed to stderr, so ":0" works).
 package main
 
 import (
@@ -22,13 +25,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"github.com/unifdist/unifdist/internal/cluster"
 	"github.com/unifdist/unifdist/internal/dist"
 	"github.com/unifdist/unifdist/internal/obs"
+	"github.com/unifdist/unifdist/internal/obs/export"
+	"github.com/unifdist/unifdist/internal/obs/trace"
 	"github.com/unifdist/unifdist/internal/zeroround"
 )
+
+// obsReady is called with the bound obs-server address once it is
+// listening; tests override it to discover a ":0" port.
+var obsReady = func(string) {}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -60,7 +70,8 @@ func run(args []string, stdout io.Writer) error {
 		backoff   = fs.Duration("backoff", 5*time.Millisecond, "initial retry backoff (doubles per attempt)")
 		deadline  = fs.Duration("deadline", cluster.DefaultDeadline, "session safety-net deadline")
 		jsonFlag  = fs.Bool("json", false, "emit a machine-readable run document instead of text")
-		jrnlFlag  = fs.String("journal", "", "write per-trial events to this JSONL file")
+		jrnlFlag  = fs.String("journal", "", "write per-trial events and trace spans to this JSONL file")
+		obsAddr   = fs.String("obs-addr", "", "serve live /metrics, /healthz, /runz and pprof on this address (e.g. :9090 or 127.0.0.1:0)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +138,43 @@ func run(args []string, stdout io.Writer) error {
 			Kind       string         `json:"kind"`
 			Provenance obs.Provenance `json:"provenance"`
 		}{Kind: "run_start", Provenance: prov})
+		// A journaled run is also a traced run: every vote frame carries
+		// wire trace context, and the journal collects the linked spans
+		// (node sample → send → referee apply → verdict).
+		cfg.Trace = trace.New(journal, trace.Derive("unifcluster", *seed))
+	}
+
+	// liveRep publishes the finished report to the /runz handler.
+	var liveRep atomic.Pointer[cluster.Report]
+	if *obsAddr != "" {
+		if reg == nil {
+			reg = obs.NewRegistry()
+			cfg.Obs = reg
+		}
+		// Copy the provenance by value: the run goroutine fills in WallMS
+		// after the run while /runz handlers may be reading.
+		provCopy := prov
+		obsReg := reg
+		srv := export.New(reg,
+			export.WithRate("cluster.votes"),
+			export.WithRunz(func() any {
+				doc := map[string]any{
+					"provenance": provCopy,
+					"running":    liveRep.Load() == nil,
+					"metrics":    obsReg.Snapshot(),
+				}
+				if rep := liveRep.Load(); rep != nil {
+					doc["report"] = rep
+				}
+				return doc
+			}))
+		bound, err := srv.Start(*obsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "unifcluster: obs server listening on http://%s\n", bound)
+		obsReady(bound)
 	}
 
 	printf(out, "cluster: rule=%s k=%d n=%d trials=%d transport=%s policy=%s\n",
@@ -139,20 +187,23 @@ func run(args []string, stdout io.Writer) error {
 
 	start := time.Now()
 	var rep *cluster.Report
+	var runErr error
 	switch *transport {
 	case "pipe":
-		rep, err = cluster.RunPipe(cfg, nw, d, plan)
+		rep, runErr = cluster.RunPipe(cfg, nw, d, plan)
 	case "tcp":
-		rep, err = cluster.RunTCP(cfg, nw, d, plan)
+		rep, runErr = cluster.RunTCP(cfg, nw, d, plan)
 	default:
 		return fmt.Errorf("unknown transport %q", *transport)
 	}
-	if err != nil {
-		return err
-	}
 	prov.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+	liveRep.Store(rep)
 
-	if journal != nil {
+	// Flush the journal before surfacing any run error: a strict-quorum
+	// failure (or an EarlyDecider short-circuit severing node connections)
+	// still carries a fully decided report, and returning first would
+	// truncate the journal after run_start — losing every trial line.
+	if journal != nil && rep != nil {
 		for t := 0; t < rep.Trials; t++ {
 			journal.Write(struct {
 				Kind    string `json:"kind"`
@@ -163,13 +214,21 @@ func run(args []string, stdout io.Writer) error {
 				Missing int    `json:"missing"`
 			}{Kind: "cluster_trial", Trial: t, Accept: rep.Verdicts[t], Rejects: rep.Rejects[t], Votes: rep.Votes[t], Missing: rep.Missing[t]})
 		}
-		journal.Write(struct {
+		end := struct {
 			Kind   string  `json:"kind"`
 			WallMS float64 `json:"wall_ms"`
-		}{Kind: "run_end", WallMS: prov.WallMS})
-		if err := journal.Err(); err != nil {
-			return err
+			Error  string  `json:"error,omitempty"`
+		}{Kind: "run_end", WallMS: prov.WallMS}
+		if runErr != nil {
+			end.Error = runErr.Error()
 		}
+		journal.Write(end)
+		if jerr := journal.Err(); jerr != nil && runErr == nil {
+			runErr = jerr
+		}
+	}
+	if runErr != nil {
+		return runErr
 	}
 
 	printf(out, "verdict: %d/%d trials accept (missing votes: %d, quorum trials: %d, early trials: %d)\n",

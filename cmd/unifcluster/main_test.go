@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunPipeSmoke(t *testing.T) {
@@ -143,6 +146,240 @@ func TestRunCleanJSONHasNoMissingVotes(t *testing.T) {
 	}
 	if len(doc.Results.Report.Verdicts) != 5 {
 		t.Errorf("verdicts = %v", doc.Results.Report.Verdicts)
+	}
+}
+
+// TestJournalCompleteOnStrictQuorumError pins the journal-flush ordering:
+// a strict-quorum failure surfaces an error from run(), but the referee
+// still delivered a fully decided report, and every trial line plus a
+// run_end record carrying the error must reach the journal before run()
+// returns. (Before the fix, the early error return truncated the journal
+// right after run_start.)
+func TestJournalCompleteOnStrictQuorumError(t *testing.T) {
+	journalPath := filepath.Join(t.TempDir(), "strict.jsonl")
+	args := []string{"-k", "60", "-n", "64", "-trials", "6", "-seed", "2",
+		"-policy", "strict", "-drop", "0.15", "-fault-seed", "7", "-journal", journalPath}
+	err := run(args, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "strict quorum") {
+		t.Fatalf("err = %v, want a strict-quorum failure", err)
+	}
+
+	data, rerr := os.ReadFile(journalPath)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	kinds := map[string]int{}
+	var endErr string
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var ev struct {
+			Kind  string `json:"kind"`
+			Error string `json:"error"`
+		}
+		if uerr := json.Unmarshal([]byte(line), &ev); uerr != nil {
+			t.Fatalf("bad journal line %q: %v", line, uerr)
+		}
+		kinds[ev.Kind]++
+		if ev.Kind == "run_end" {
+			endErr = ev.Error
+		}
+	}
+	if kinds["run_start"] != 1 || kinds["cluster_trial"] != 6 || kinds["run_end"] != 1 {
+		t.Errorf("journal kinds = %v, want 1 run_start, 6 cluster_trial, 1 run_end", kinds)
+	}
+	if !strings.Contains(endErr, "strict quorum") {
+		t.Errorf("run_end error = %q, want the strict-quorum failure recorded", endErr)
+	}
+}
+
+// TestJournalHasLinkedSpans asserts a journaled run records the full causal
+// span chain for at least one complete trial:
+// referee.apply → node.send → node.sample → node.session, plus the
+// referee.verdict span parented on the referee session.
+func TestJournalHasLinkedSpans(t *testing.T) {
+	journalPath := filepath.Join(t.TempDir(), "spans.jsonl")
+	args := []string{"-k", "20", "-n", "64", "-trials", "3", "-seed", "9", "-journal", journalPath}
+	if err := run(args, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type span struct {
+		Name   string         `json:"name"`
+		Span   string         `json:"span"`
+		Parent string         `json:"parent"`
+		Attrs  map[string]any `json:"attrs"`
+	}
+	byID := map[string]span{}
+	counts := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var ev struct {
+			Kind string `json:"kind"`
+			span
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad journal line %q: %v", line, err)
+		}
+		if ev.Kind != "span" {
+			continue
+		}
+		byID[ev.Span] = ev.span
+		counts[ev.Name]++
+	}
+	const k, trials = 20, 3
+	if counts["referee.apply"] != k*trials {
+		t.Fatalf("referee.apply spans = %d, want %d", counts["referee.apply"], k*trials)
+	}
+	if counts["referee.verdict"] != 1 || counts["referee.session"] != 1 {
+		t.Fatalf("verdict/session spans = %d/%d, want 1/1", counts["referee.verdict"], counts["referee.session"])
+	}
+	// Walk every apply back to its node session: the chain must be intact
+	// for all k*trials votes, which covers every full trial.
+	for id, s := range byID {
+		if s.Name != "referee.apply" {
+			continue
+		}
+		send, ok := byID[s.Parent]
+		if !ok || send.Name != "node.send" {
+			t.Fatalf("apply span %s parent %q is %q, want node.send", id, s.Parent, send.Name)
+		}
+		sample, ok := byID[send.Parent]
+		if !ok || sample.Name != "node.sample" {
+			t.Fatalf("send span parent %q is %q, want node.sample", send.Parent, sample.Name)
+		}
+		if sess, ok := byID[sample.Parent]; !ok || sess.Name != "node.session" {
+			t.Fatalf("sample span parent %q is %q, want node.session", sample.Parent, sess.Name)
+		}
+	}
+	for _, s := range byID {
+		if s.Name == "referee.verdict" {
+			if p := byID[s.Parent]; p.Name != "referee.session" {
+				t.Fatalf("referee.verdict parent is %q, want referee.session", p.Name)
+			}
+		}
+	}
+}
+
+// metricValue extracts a gauge/counter sample with exactly the given name
+// from a Prometheus text exposition, returning ok=false if absent.
+func metricValue(body, name string) (float64, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// TestObsServerLiveScrape is the telemetry-plane smoke: a TCP-loopback run
+// with -obs-addr is scraped mid-flight — /metrics must show live vote
+// counts and a nonzero votes/sec rate gauge, /runz and /healthz must
+// answer — and the run document's report must be byte-identical to an
+// identically-configured run without the obs server.
+func TestObsServerLiveScrape(t *testing.T) {
+	addrCh := make(chan string, 1)
+	obsReady = func(addr string) { addrCh <- addr }
+	defer func() { obsReady = func(string) {} }()
+
+	// The delay plan stretches the run (seeded, delay-only — verdicts are
+	// unaffected) so the scrape loop reliably lands mid-run.
+	common := []string{"-transport", "tcp", "-k", "20", "-n", "64", "-trials", "10",
+		"-seed", "5", "-delay", "40ms", "-json"}
+
+	var obsOut bytes.Buffer
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- run(append([]string{"-obs-addr", "127.0.0.1:0"}, common...), &obsOut)
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-runDone:
+		t.Fatalf("run finished before the obs server came up: %v", err)
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// Poll /metrics until votes flow; the delayed run gives us a wide
+	// mid-run window.
+	deadline := time.Now().Add(15 * time.Second)
+	var votes, rate float64
+	for {
+		_, body := get("/metrics")
+		v, _ := metricValue(body, "cluster_votes")
+		r, _ := metricValue(body, "cluster_votes_per_sec")
+		if v > 0 && r > 0 {
+			votes, rate = v, r
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no live votes after 15s; last body:\n%s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if votes <= 0 || rate <= 0 {
+		t.Fatalf("votes=%g rate=%g, want both > 0", votes, rate)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	code, body := get("/runz")
+	if code != http.StatusOK {
+		t.Fatalf("/runz = %d", code)
+	}
+	var runz map[string]any
+	if err := json.Unmarshal([]byte(body), &runz); err != nil {
+		t.Fatalf("/runz not JSON: %v\n%s", err, body)
+	}
+	if _, ok := runz["provenance"]; !ok {
+		t.Fatalf("/runz missing provenance: %v", runz)
+	}
+
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// The same configuration without the obs server must produce a
+	// byte-identical report: telemetry export never touches verdicts.
+	var plainOut bytes.Buffer
+	if err := run(common, &plainOut); err != nil {
+		t.Fatal(err)
+	}
+	report := func(raw []byte) json.RawMessage {
+		var doc struct {
+			Results struct {
+				Report json.RawMessage `json:"report"`
+			} `json:"results"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("run document not parseable: %v", err)
+		}
+		if len(doc.Results.Report) == 0 {
+			t.Fatal("run document has no report")
+		}
+		return doc.Results.Report
+	}
+	if obsRep, plainRep := report(obsOut.Bytes()), report(plainOut.Bytes()); !bytes.Equal(obsRep, plainRep) {
+		t.Fatalf("obs run report diverged from plain run:\nobs:   %s\nplain: %s", obsRep, plainRep)
 	}
 }
 

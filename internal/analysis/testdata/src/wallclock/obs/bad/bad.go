@@ -1,0 +1,12 @@
+// Package bad sits under the restricted "obs" segment but NOT under the
+// obs/trace allowlist, so bare clock reads are violations: telemetry
+// collection outside the tracer must justify every wall-clock site with a
+// directive.
+package bad
+
+import "time"
+
+// Stamp reads the clock without a directive — the violation case.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in trial-path package"
+}

@@ -1,0 +1,16 @@
+// Package trace sits under the allowlisted obs/trace subpath: span
+// timestamps are wall-clock observations by design, so the analyzer must
+// stay silent here without any //unifvet:allow directives.
+package trace
+
+import "time"
+
+// Start stamps a span open — a legitimate clock read.
+func Start() time.Time {
+	return time.Now()
+}
+
+// End measures a span's duration — equally legitimate.
+func End(start time.Time) time.Duration {
+	return time.Since(start)
+}

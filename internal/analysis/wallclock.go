@@ -12,15 +12,44 @@ import (
 // carry a //unifvet:allow wallclock directive with a reason. The cluster
 // runtime is included because its verdicts must remain a pure function of
 // the base seed: deadlines may bound I/O, never decide trials.
-var wallClockPackages = []string{"tester", "zeroround", "dist", "experiment", "cluster"}
+var wallClockPackages = []string{"tester", "zeroround", "dist", "experiment", "cluster", "obs"}
+
+// wallClockAllowedSubpaths exempts whole packages from the ban without
+// per-line directives. The span tracer is the one sanctioned clock reader
+// in the telemetry plane: span timestamps ARE wall-clock observations by
+// design, and nothing downstream of them feeds a verdict — the tracer only
+// writes journal records.
+var wallClockAllowedSubpaths = []string{"obs/trace"}
 
 // WallClock flags time.Now and time.Since in trial-path packages
-// (internal/{tester,zeroround,dist,experiment,cluster}). Test files are
-// exempt.
+// (internal/{tester,zeroround,dist,experiment,cluster,obs}). Test files
+// and the allowlisted subpaths (obs/trace) are exempt.
 var WallClock = &Analyzer{
 	Name: "wallclock",
-	Doc:  "forbid time.Now/time.Since in trial-path packages (internal/{" + strings.Join(wallClockPackages, ",") + "})",
-	Run:  runWallClock,
+	Doc: "forbid time.Now/time.Since in trial-path packages (internal/{" + strings.Join(wallClockPackages, ",") +
+		"}), excepting " + strings.Join(wallClockAllowedSubpaths, ","),
+	Run: runWallClock,
+}
+
+// hasSubpath reports whether the slash-separated segments of sub occur
+// consecutively in path — "a/obs/trace" contains "obs/trace" but
+// "a/obs/x/trace" does not.
+func hasSubpath(path, sub string) bool {
+	segs := strings.Split(path, "/")
+	want := strings.Split(sub, "/")
+	for i := 0; i+len(want) <= len(segs); i++ {
+		match := true
+		for j, w := range want {
+			if segs[i+j] != w {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
 }
 
 func runWallClock(pass *Pass) error {
@@ -33,6 +62,11 @@ func runWallClock(pass *Pass) error {
 	}
 	if !restricted {
 		return nil
+	}
+	for _, sub := range wallClockAllowedSubpaths {
+		if hasSubpath(pass.Path, sub) {
+			return nil
+		}
 	}
 	for _, f := range pass.Files {
 		if IsTestFile(pass.Fset, f.Pos()) {

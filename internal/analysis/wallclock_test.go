@@ -12,5 +12,7 @@ func TestWallClock(t *testing.T) {
 		"wallclock/tester",
 		"wallclock/clean",
 		"wallclock/cluster",
+		"wallclock/obs/trace",
+		"wallclock/obs/bad",
 	)
 }

@@ -33,6 +33,7 @@ import (
 
 	"github.com/unifdist/unifdist/internal/dist"
 	"github.com/unifdist/unifdist/internal/obs"
+	"github.com/unifdist/unifdist/internal/obs/trace"
 	"github.com/unifdist/unifdist/internal/zeroround"
 )
 
@@ -107,6 +108,14 @@ type Config struct {
 	// Obs, when non-nil, receives connection/vote/fault metrics. Nil
 	// disables telemetry.
 	Obs *obs.Registry
+	// Trace, when non-nil, emits causally-linked spans for the session
+	// (node sample → frame send → referee apply → verdict) into the
+	// tracer's journal and stamps vote frames with a wire trace context
+	// (codec version 2). Tracing is observability only: verdicts, vote
+	// payloads and decision flow are unchanged — only the vote frame
+	// encoding grows by the 16-byte context, which shows up in the byte
+	// accounting but never in a verdict.
+	Trace *trace.Tracer
 }
 
 // deadline resolves the configured deadline.

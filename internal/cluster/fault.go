@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"net"
 	"time"
 
@@ -58,6 +59,9 @@ type link struct {
 	plan *FaultPlan
 	g    *rng.RNG // nil when the plan is inactive
 	reg  *obs.Registry
+	// Per-peer live counters (nil no-ops when telemetry is disabled).
+	sent    *obs.Counter
+	dropped *obs.Counter
 }
 
 // newLink wraps conn for node's attempt-th connection under plan.
@@ -66,20 +70,27 @@ func newLink(conn net.Conn, plan *FaultPlan, node, attempt int, reg *obs.Registr
 	if plan.Active() {
 		l.g = rng.At(plan.Seed, linkID(node, attempt))
 	}
+	if reg != nil {
+		l.sent = reg.Counter(fmt.Sprintf("cluster.peer.%d.sent", node))
+		l.dropped = reg.Counter(fmt.Sprintf("cluster.peer.%d.dropped", node))
+	}
 	return l
 }
 
 // sendControl writes a control frame with no fault injection.
 func (l *link) sendControl(f wire.Frame) error {
+	l.sent.Inc()
 	return wire.WriteFrame(l.conn, f)
 }
 
-// sendVote writes one vote/sketch frame through the fault plan. A dropped
-// frame returns nil (the loss is silent, as on a real lossy link); a
-// disconnect closes the connection and returns the resulting write error.
-func (l *link) sendVote(f wire.Frame) error {
+// sendVote writes one vote/sketch frame through the fault plan, stamping
+// the trace context when one is attached. A dropped frame returns nil (the
+// loss is silent, as on a real lossy link); a disconnect closes the
+// connection and returns the resulting write error.
+func (l *link) sendVote(f wire.Frame, tc wire.TraceContext) error {
 	if l.g == nil {
-		return wire.WriteFrame(l.conn, f)
+		l.sent.Inc()
+		return wire.WriteFrameTraced(l.conn, f, tc)
 	}
 	p := l.plan
 	if p.Delay > 0 {
@@ -92,17 +103,20 @@ func (l *link) sendVote(f wire.Frame) error {
 	case x < p.Disconnect:
 		l.reg.Counter("cluster.faults_disconnect").Inc()
 		l.conn.Close()
-		return wire.WriteFrame(l.conn, f) // surfaces the closed-link error
+		return wire.WriteFrameTraced(l.conn, f, tc) // surfaces the closed-link error
 	case x < p.Disconnect+p.Drop:
 		l.reg.Counter("cluster.faults_dropped").Inc()
+		l.dropped.Inc()
 		return nil
 	case x < p.Disconnect+p.Drop+p.Dup:
 		l.reg.Counter("cluster.faults_dup").Inc()
-		if err := wire.WriteFrame(l.conn, f); err != nil {
+		if err := wire.WriteFrameTraced(l.conn, f, tc); err != nil {
 			return err
 		}
-		return wire.WriteFrame(l.conn, f)
+		l.sent.Add(2)
+		return wire.WriteFrameTraced(l.conn, f, tc)
 	default:
-		return wire.WriteFrame(l.conn, f)
+		l.sent.Inc()
+		return wire.WriteFrameTraced(l.conn, f, tc)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/obs/trace"
 	"github.com/unifdist/unifdist/internal/rng"
 	"github.com/unifdist/unifdist/internal/tester"
 	"github.com/unifdist/unifdist/internal/wire"
@@ -48,7 +49,10 @@ func (nc *NodeClient) Run(d dist.Distribution) (wire.Verdict, error) {
 		return wire.Verdict{}, fmt.Errorf("cluster: node %d: Sketch mode needs DomainN > 0", nc.ID)
 	}
 
-	frames, err := nc.computeFrames(d)
+	sess := cfg.Trace.Start("node.session", trace.Context{}, trace.A("node", nc.ID))
+	defer sess.End()
+
+	frames, err := nc.computeFrames(d, sess.Context())
 	if err != nil {
 		return wire.Verdict{}, err
 	}
@@ -72,47 +76,63 @@ func (nc *NodeClient) Run(d dist.Distribution) (wire.Verdict, error) {
 	return wire.Verdict{}, fmt.Errorf("cluster: node %d: %w", nc.ID, lastErr)
 }
 
+// outFrame is one precomputed submission frame plus the trace position of
+// the sample computation that produced it (zero when tracing is off).
+type outFrame struct {
+	frame  wire.Frame
+	parent trace.Context
+}
+
 // computeFrames runs the node's tester for every trial and encodes the
 // submission as ready-to-send frames. The sample stream of trial t is
 // fixed by (BaseSeed, t, ID) alone, so the frames are a pure function of
 // the configuration — independent of scheduling, attempts, or the other
 // nodes.
-func (nc *NodeClient) computeFrames(d dist.Distribution) ([]wire.Frame, error) {
+func (nc *NodeClient) computeFrames(d dist.Distribution, sess trace.Context) ([]outFrame, error) {
 	g := rng.New(0)
 	s := nc.Tester.SampleSize()
 	block := make([]int, s)
 	var col dist.CollisionScratch
 	st, _ := nc.Tester.(tester.ScratchTester)
+	tr := nc.Config.Trace
 
-	frames := make([]wire.Frame, 0, nc.Config.Trials)
+	frames := make([]outFrame, 0, nc.Config.Trials)
 	for t := 0; t < nc.Config.Trials; t++ {
+		// The sample span's ID is derived from (trace, trial, node), so a
+		// rerun of the same configuration yields the same span graph.
+		sp := tr.StartID("node.sample",
+			trace.Derive("node.sample", uint64(tr.Trace()), uint64(t), uint64(nc.ID)),
+			sess, trace.A("trial", t))
 		zeroround.VoteStream(g, nc.Config.BaseSeed, uint64(t), nc.ID, nc.K)
 		dist.SampleInto(d, block, g)
+		var f wire.Frame
 		if nc.Config.Sketch {
 			// Raw sketch: the referee derives the single-collision vote as
 			// Collisions > 0, so this mode is only valid for testers where
 			// that derivation IS the test.
 			c := col.CountCollisions(nc.Config.DomainN, block)
-			frames = append(frames, &wire.Sketch{
+			f = &wire.Sketch{
 				Trial: uint32(t), Node: uint32(nc.ID),
 				Samples: uint32(s), Collisions: uint32(c),
-			})
-			continue
-		}
-		var accept bool
-		if st != nil {
-			accept = st.TestScratch(block, &col)
+			}
 		} else {
-			accept = nc.Tester.Test(block)
+			var accept bool
+			if st != nil {
+				accept = st.TestScratch(block, &col)
+			} else {
+				accept = nc.Tester.Test(block)
+			}
+			f = &wire.Vote{Trial: uint32(t), Node: uint32(nc.ID), Reject: !accept}
 		}
-		frames = append(frames, &wire.Vote{Trial: uint32(t), Node: uint32(nc.ID), Reject: !accept})
+		sp.End()
+		frames = append(frames, outFrame{frame: f, parent: sp.Context()})
 	}
 	return frames, nil
 }
 
 // submit performs one connection attempt: handshake, vote stream, Done,
 // then blocks for the referee's verdict.
-func (nc *NodeClient) submit(frames []wire.Frame, attempt int) (wire.Verdict, error) {
+func (nc *NodeClient) submit(frames []outFrame, attempt int) (wire.Verdict, error) {
 	conn, err := nc.Dial()
 	if err != nil {
 		return wire.Verdict{}, fmt.Errorf("dial: %w", err)
@@ -123,13 +143,20 @@ func (nc *NodeClient) submit(frames []wire.Frame, attempt int) (wire.Verdict, er
 	// takes over rather than hanging the node forever.
 	conn.SetDeadline(time.Now().Add(nc.Config.deadline())) //unifvet:allow wallclock per-attempt I/O safety bound; votes are precomputed and unaffected
 
+	tr := nc.Config.Trace
 	lk := newLink(conn, nc.Faults, nc.ID, attempt, nc.Config.Obs)
 	hello := &wire.Hello{Node: uint32(nc.ID), K: uint32(nc.K), Trials: uint32(nc.Config.Trials)}
 	if err := lk.sendControl(hello); err != nil {
 		return wire.Verdict{}, fmt.Errorf("hello: %w", err)
 	}
-	for _, f := range frames {
-		if err := lk.sendVote(f); err != nil {
+	for _, of := range frames {
+		// The send span's ID rides the frame as its wire trace context, so
+		// the referee's apply span can parent on it across the connection.
+		sp := tr.Start("node.send", of.parent, trace.A("attempt", attempt))
+		ctx := sp.Context()
+		err := lk.sendVote(of.frame, wire.TraceContext{Trace: uint64(ctx.Trace), Span: uint64(ctx.Span)})
+		sp.End()
+		if err != nil {
 			return wire.Verdict{}, fmt.Errorf("vote: %w", err)
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/unifdist/unifdist/internal/obs"
+	"github.com/unifdist/unifdist/internal/obs/trace"
 	"github.com/unifdist/unifdist/internal/wire"
 	"github.com/unifdist/unifdist/internal/zeroround"
 )
@@ -88,6 +89,11 @@ func (rf *Referee) Serve(l net.Listener) (*Report, error) {
 	timer := time.NewTimer(deadline)
 	defer timer.Stop()
 
+	sess := rf.cfg.Trace.Start("referee.session", trace.Context{},
+		trace.A("k", rf.k), trace.A("trials", rf.cfg.Trials))
+	rf.reg.Gauge("cluster.sessions_open").Add(1)
+	defer rf.reg.Gauge("cluster.sessions_open").Add(-1)
+
 	var wg sync.WaitGroup
 	go func() {
 		for {
@@ -128,7 +134,12 @@ func (rf *Referee) Serve(l net.Listener) (*Report, error) {
 	}
 	l.Close()
 
+	vspan := rf.cfg.Trace.Start("referee.verdict", sess.Context())
 	rep, sum, conns := rf.finalize()
+	vspan.Annotate(trace.A("accepts", rep.Accepts), trace.A("missing", rep.MissingVotes),
+		trace.A("quorum_trials", rep.QuorumTrials))
+	vspan.End()
+	sess.End()
 	for _, c := range conns {
 		// Bounded best-effort verdict delivery: a node that already went
 		// away must not stall shutdown (net.Pipe writes block until read).
@@ -150,23 +161,54 @@ func (rf *Referee) handle(conn net.Conn, end time.Time) {
 	r := wire.NewReader(conn)
 	node := -1 // set by Hello
 	frameBytes := rf.reg.Histogram("cluster.frame_bytes", obs.BytesBuckets())
+	rf.reg.Gauge("cluster.peers_connected").Add(1)
+	defer rf.reg.Gauge("cluster.peers_connected").Add(-1)
+	// Per-frame-type decode and apply latency histograms, resolved once per
+	// connection; nil (and never timed) when telemetry is off, so the hot
+	// path pays no clock reads by default.
+	var decodeNS, applyNS [wire.TypeVerdict + 1]*obs.Histogram
+	if rf.reg != nil {
+		for t := wire.TypeHello; t <= wire.TypeVerdict; t++ {
+			name := wire.TypeName(t)
+			decodeNS[t] = rf.reg.Histogram("cluster.decode_ns."+name, obs.LatencyBuckets())
+			applyNS[t] = rf.reg.Histogram("cluster.apply_ns."+name, obs.LatencyBuckets())
+		}
+	}
+	var peerRecv *obs.Counter // resolved after Hello identifies the peer
 	for {
-		f, err := r.ReadFrame()
+		body, err := r.ReadBody()
 		if err != nil {
-			// EOF, peer close, injected disconnect, or codec error: codec
-			// errors count as a bad frame, transport ends either way.
+			// EOF, peer close, injected disconnect, or framing error:
+			// framing errors count as a bad frame, transport ends either way.
 			if !isClosedErr(err) {
 				rf.countBadFrame()
 			}
 			return
 		}
-		n := wire.EncodedSize(f)
+		var t0 time.Time
+		if rf.reg != nil {
+			t0 = time.Now() //unifvet:allow wallclock latency histogram sample; enabled only with telemetry, never read by decisions
+		}
+		f, tc, err := wire.DecodeBody(body)
+		if err != nil {
+			// Codec error: count it and end the transport, as before the
+			// read/decode split.
+			rf.countBadFrame()
+			return
+		}
+		ft := f.Type()
+		if rf.reg != nil && int(ft) < len(decodeNS) {
+			decodeNS[ft].Observe(int64(time.Since(t0))) //unifvet:allow wallclock latency histogram sample; enabled only with telemetry, never read by decisions
+			t0 = time.Now()                             //unifvet:allow wallclock latency histogram sample; enabled only with telemetry, never read by decisions
+		}
+		n := wire.EncodedSizeTraced(f, tc)
 		frameBytes.Observe(int64(n))
 		rf.mu.Lock()
 		rf.stats.Frames++
 		rf.stats.Bytes += int64(n)
 		rf.mu.Unlock()
 		rf.reg.Counter("cluster.frames").Inc()
+		peerRecv.Inc()
 
 		switch m := f.(type) {
 		case *wire.Hello:
@@ -176,12 +218,16 @@ func (rf *Referee) handle(conn net.Conn, end time.Time) {
 				return
 			}
 			node = int(m.Node)
+			if rf.reg != nil {
+				peerRecv = rf.reg.Counter(fmt.Sprintf("cluster.peer.%d.recv", node))
+				peerRecv.Inc() // the Hello itself
+			}
 		case *wire.Vote:
 			if node < 0 || int(m.Node) != node {
 				rf.countBadFrame()
 				continue
 			}
-			rf.record(int(m.Trial), node, m.Reject)
+			rf.apply(int(m.Trial), node, m.Reject, tc)
 		case *wire.Sketch:
 			if node < 0 || int(m.Node) != node {
 				rf.countBadFrame()
@@ -189,20 +235,41 @@ func (rf *Referee) handle(conn net.Conn, end time.Time) {
 			}
 			// Single-collision vote derived server-side: reject iff the
 			// node saw any colliding pair.
-			rf.record(int(m.Trial), node, m.Collisions > 0)
+			rf.apply(int(m.Trial), node, m.Collisions > 0, tc)
 		case *wire.Done:
 			if node < 0 || int(m.Node) != node {
 				rf.countBadFrame()
 				continue
 			}
 			rf.markDone(node)
+			if rf.reg != nil && int(ft) < len(applyNS) {
+				applyNS[ft].Observe(int64(time.Since(t0))) //unifvet:allow wallclock latency histogram sample; enabled only with telemetry, never read by decisions
+			}
 			// The node sends nothing further; keep the connection open for
 			// the verdict broadcast and release the handler.
 			return
 		default:
 			rf.countBadFrame()
 		}
+		if rf.reg != nil && int(ft) < len(applyNS) {
+			applyNS[ft].Observe(int64(time.Since(t0))) //unifvet:allow wallclock latency histogram sample; enabled only with telemetry, never read by decisions
+		}
 	}
+}
+
+// apply records one vote under a referee.apply span parented on the frame's
+// wire trace context, linking the referee's side of the trace to the node's
+// send span across the connection.
+func (rf *Referee) apply(trial, node int, reject bool, tc wire.TraceContext) {
+	if !rf.cfg.Trace.Enabled() {
+		rf.record(trial, node, reject)
+		return
+	}
+	sp := rf.cfg.Trace.Start("referee.apply",
+		trace.Context{Trace: trace.ID(tc.Trace), Span: trace.ID(tc.Span)},
+		trace.A("trial", trial), trace.A("node", node))
+	rf.record(trial, node, reject)
+	sp.End()
 }
 
 // record registers one deduplicated vote and advances the trial's
@@ -231,6 +298,9 @@ func (rf *Referee) record(trial, node int, reject bool) {
 	}
 	rf.stats.Votes++
 	rf.reg.Counter("cluster.votes").Inc()
+	// Fraction of the (trial, node) dedup bitset that is set — a live
+	// progress probe for the export server.
+	rf.reg.Gauge("cluster.dedup_occupancy").Set(float64(rf.stats.Votes) / float64(rf.k*rf.cfg.Trials))
 
 	if rf.decided[trial] {
 		return

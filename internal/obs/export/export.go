@@ -1,0 +1,239 @@
+// Package export serves live telemetry over HTTP: /metrics renders the
+// obs.Registry in Prometheus text exposition format, /healthz answers
+// liveness probes, /runz publishes the caller's run document as JSON, and
+// net/http/pprof is mounted for on-demand profiling. The server only reads
+// — it snapshots the registry at scrape time and never feeds anything back
+// into the run — so attaching it cannot perturb verdicts.
+//
+// Rates (votes/sec and friends) are derived here, at scrape time, from
+// counter deltas between scrapes. That keeps wall-clock reads off the
+// referee hot path: the referee only increments counters; this package owns
+// the clock.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/unifdist/unifdist/internal/obs"
+)
+
+// Server exposes a registry (and optionally a run document) over HTTP. Use
+// New + Start; the zero value is not usable.
+type Server struct {
+	reg  *obs.Registry
+	runz func() any
+
+	mu    sync.Mutex
+	rates []string
+	last  map[string]rateState
+	start time.Time
+
+	httpSrv *http.Server
+	l       net.Listener
+}
+
+type rateState struct {
+	value int64
+	at    time.Time
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithRunz publishes fn's result as JSON at /runz. fn is called per request
+// and must be safe for concurrent use.
+func WithRunz(fn func() any) Option {
+	return func(s *Server) { s.runz = fn }
+}
+
+// WithRate derives a gauge named counter+"_per_sec" from the named counter
+// at each /metrics scrape: delta since the previous scrape divided by the
+// elapsed wall time. The first scrape uses server start as the baseline, so
+// the rate is live from the first request.
+func WithRate(counter string) Option {
+	return func(s *Server) { s.rates = append(s.rates, counter) }
+}
+
+// New builds a server over reg. A nil registry is allowed and renders an
+// empty /metrics page.
+func New(reg *obs.Registry, opts ...Option) *Server {
+	s := &Server{
+		reg:   reg,
+		last:  map[string]rateState{},
+		start: time.Now(), //unifvet:allow wallclock rate baseline for the first scrape
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Handler returns the server's HTTP mux: /metrics, /healthz, /runz and the
+// pprof endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/runz", s.serveRunz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.reg.Snapshot()
+	s.updateRates(snap)
+	// Re-snapshot so the derived rate gauges appear in this scrape, not the
+	// next one.
+	if len(s.rates) > 0 {
+		snap = s.reg.Snapshot()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteMetrics(w, snap)
+}
+
+// updateRates sets the <counter>_per_sec gauges from counter deltas.
+func (s *Server) updateRates(snap obs.Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now() //unifvet:allow wallclock scrape-time rate derivation is observability-only
+	for _, name := range s.rates {
+		cur := snap.Counters[name]
+		prev, ok := s.last[name]
+		if !ok {
+			// First scrape: rate over the server's lifetime so far.
+			prev = rateState{value: 0, at: s.start}
+		}
+		dt := now.Sub(prev.at)
+		if dt < 10*time.Millisecond {
+			continue // too close to the previous scrape for a stable rate
+		}
+		s.reg.Gauge(name+"_per_sec").Set(float64(cur-prev.value) / dt.Seconds())
+		s.last[name] = rateState{value: cur, at: now}
+	}
+}
+
+func (s *Server) serveRunz(w http.ResponseWriter, _ *http.Request) {
+	if s.runz == nil {
+		http.Error(w, "no run document attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.runz()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Start listens on addr (host:port; port 0 picks a free port) and serves in
+// a background goroutine. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("export: listen %s: %w", addr, err)
+	}
+	s.l = l
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	go func() { _ = s.httpSrv.Serve(l) }()
+	return l.Addr().String(), nil
+}
+
+// Addr returns the bound address, or "" before Start.
+func (s *Server) Addr() string {
+	if s.l == nil {
+		return ""
+	}
+	return s.l.Addr().String()
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Close()
+}
+
+// WriteMetrics renders a snapshot in Prometheus text exposition format.
+// Metric names are sanitized (dots and dashes become underscores) and
+// emitted in sorted order; histogram buckets are converted from the
+// registry's per-bucket counts to Prometheus cumulative "le" counts.
+func WriteMetrics(w io.Writer, s obs.Snapshot) {
+	counters := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		counters = append(counters, name)
+	}
+	sort.Strings(counters)
+	for _, name := range counters {
+		n := Sanitize(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name])
+	}
+
+	gauges := make([]string, 0, len(s.Gauges))
+	for name := range s.Gauges {
+		gauges = append(gauges, name)
+	}
+	sort.Strings(gauges)
+	for _, name := range gauges {
+		n := Sanitize(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, s.Gauges[name])
+	}
+
+	hists := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hists = append(hists, name)
+	}
+	sort.Strings(hists)
+	for _, name := range hists {
+		n := Sanitize(name)
+		h := s.Histograms[name]
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if b.Overflow {
+				continue // folded into the +Inf bucket below
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, b.UpperBound, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+	}
+}
+
+// Sanitize maps a registry metric name onto the Prometheus name charset.
+func Sanitize(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package export
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/unifdist/unifdist/internal/obs"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func TestWriteMetricsFormat(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("cluster.votes").Add(42)
+	r.Gauge("cluster.sessions_open").Set(3)
+	h := r.Histogram("apply_ns.vote", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000) // overflow
+
+	var b strings.Builder
+	WriteMetrics(&b, r.Snapshot())
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE cluster_votes counter\ncluster_votes 42\n",
+		"# TYPE cluster_sessions_open gauge\ncluster_sessions_open 3\n",
+		"# TYPE apply_ns_vote histogram\n",
+		"apply_ns_vote_bucket{le=\"10\"} 1\n",
+		"apply_ns_vote_bucket{le=\"100\"} 2\n",
+		"apply_ns_vote_bucket{le=\"+Inf\"} 3\n",
+		"apply_ns_vote_sum 5055\n",
+		"apply_ns_vote_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n---\n%s", want, out)
+		}
+	}
+	// Cumulative buckets must be monotone: the raw overflow bucket is folded
+	// into +Inf, never emitted as a numeric le.
+	if strings.Contains(out, "9223372036854775807") {
+		t.Errorf("overflow bucket leaked a numeric bound:\n%s", out)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	for in, want := range map[string]string{
+		"cluster.votes":       "cluster_votes",
+		"peer-3/recv":         "peer_3_recv",
+		"ok_name":             "ok_name",
+		"0starts_with_digit":  "_0starts_with_digit",
+		"apply_ns.vote":       "apply_ns_vote",
+	} {
+		if got := Sanitize(in); got != want {
+			t.Errorf("Sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("cluster.votes").Add(7)
+	doc := map[string]any{"seed": 42, "trials": 60}
+	s := New(r, WithRunz(func() any { return doc }))
+	h := s.Handler()
+
+	if code, body := get(t, h, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get(t, h, "/metrics"); code != 200 || !strings.Contains(body, "cluster_votes 7") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	code, body := get(t, h, "/runz")
+	if code != 200 || !strings.Contains(body, "\"seed\": 42") {
+		t.Errorf("/runz = %d %q", code, body)
+	}
+	if code, _ := get(t, h, "/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestRunzWithoutDocumentIs404(t *testing.T) {
+	s := New(obs.NewRegistry())
+	if code, _ := get(t, s.Handler(), "/runz"); code != http.StatusNotFound {
+		t.Errorf("/runz without doc = %d, want 404", code)
+	}
+}
+
+func TestNilRegistryMetricsEmpty(t *testing.T) {
+	s := New(nil)
+	if code, body := get(t, s.Handler(), "/metrics"); code != 200 || body != "" {
+		t.Errorf("/metrics on nil registry = %d %q", code, body)
+	}
+}
+
+func TestRateGauge(t *testing.T) {
+	r := obs.NewRegistry()
+	s := New(r, WithRate("cluster.votes"))
+	h := s.Handler()
+
+	r.Counter("cluster.votes").Add(1000)
+	time.Sleep(20 * time.Millisecond) // clear the 10ms stable-rate floor
+	if _, body := get(t, h, "/metrics"); !strings.Contains(body, "cluster_votes_per_sec") {
+		t.Fatalf("first scrape missing rate gauge:\n%s", body)
+	}
+	if v := r.Gauge("cluster.votes_per_sec").Value(); v <= 0 {
+		t.Fatalf("first-scrape rate = %g, want > 0", v)
+	}
+
+	// A second scrape after more votes must yield a fresh positive rate.
+	r.Counter("cluster.votes").Add(500)
+	time.Sleep(20 * time.Millisecond)
+	get(t, h, "/metrics")
+	if v := r.Gauge("cluster.votes_per_sec").Value(); v <= 0 {
+		t.Fatalf("second-scrape rate = %g, want > 0", v)
+	}
+}
+
+func TestStartServesOverTCP(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("n").Inc()
+	s := New(r)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Addr() != addr {
+		t.Errorf("Addr() = %q, want %q", s.Addr(), addr)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "n 1") {
+		t.Errorf("GET /metrics = %d %q", resp.StatusCode, body)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}

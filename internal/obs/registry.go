@@ -54,6 +54,21 @@ func (g *Gauge) Set(v float64) {
 	g.bits.Store(math.Float64bits(v))
 }
 
+// Add adjusts the gauge by delta (which may be negative), atomically with
+// respect to concurrent Add and Set calls.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the stored value (0 on a nil receiver).
 func (g *Gauge) Value() float64 {
 	if g == nil {
@@ -69,10 +84,9 @@ func (g *Gauge) Value() float64 {
 type Histogram struct {
 	bounds []int64
 	counts []atomic.Int64 // len(bounds)+1; last is overflow
-	count  atomic.Int64
 	sum    atomic.Int64
-	min    atomic.Int64 // valid only when count > 0
-	max    atomic.Int64
+	min    atomic.Int64 // sentinel math.MaxInt64 until first observation lands
+	max    atomic.Int64 // sentinel math.MinInt64 until first observation lands
 }
 
 func newHistogram(bounds []int64) *Histogram {
@@ -85,23 +99,14 @@ func newHistogram(bounds []int64) *Histogram {
 	return h
 }
 
-// Observe records one value.
+// Observe records one value. Sum, min and max are updated before the bucket
+// count so that a concurrent Snapshot that counts an observation also sees
+// its contribution to the aggregates (Go atomics are sequentially
+// consistent).
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
 	}
-	// Binary search for the first bound ≥ v.
-	lo, hi := 0, len(h.bounds)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if h.bounds[mid] < v {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	h.counts[lo].Add(1)
-	h.count.Add(1)
 	h.sum.Add(v)
 	for {
 		cur := h.min.Load()
@@ -115,24 +120,39 @@ func (h *Histogram) Observe(v int64) {
 			break
 		}
 	}
+	// Binary search for the first bound ≥ v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
 }
 
-// snapshot captures the histogram's current state.
-func (h *Histogram) snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{
-		Count:   h.count.Load(),
-		Sum:     h.sum.Load(),
-		Buckets: make([]Bucket, 0, len(h.counts)),
+// Snapshot captures the histogram's current state. It is safe against
+// concurrent Observe calls: Count is derived from the bucket counts, so the
+// invariant Count == Σ buckets (the Prometheus "+Inf" rule) holds in every
+// snapshot, and sum/min/max cover at least every counted observation. A nil
+// histogram yields an empty snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
 	}
-	if s.Count > 0 {
-		s.Min = h.min.Load()
-		s.Max = h.max.Load()
-	}
+	// Read the buckets before the aggregates: Observe orders its aggregate
+	// writes before the bucket increment, so every observation counted here
+	// has already published its sum/min/max contribution by the time the
+	// loads below run.
+	s := HistogramSnapshot{Buckets: make([]Bucket, 0, len(h.counts))}
 	for i := range h.counts {
 		n := h.counts[i].Load()
 		if n == 0 {
 			continue
 		}
+		s.Count += n
 		b := Bucket{Count: n}
 		if i < len(h.bounds) {
 			b.UpperBound = h.bounds[i]
@@ -141,6 +161,11 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 			b.Overflow = true
 		}
 		s.Buckets = append(s.Buckets, b)
+	}
+	s.Sum = h.sum.Load()
+	if min, max := h.min.Load(), h.max.Load(); s.Count > 0 && min != math.MaxInt64 && max != math.MinInt64 {
+		s.Min = min
+		s.Max = max
 	}
 	return s
 }
@@ -285,7 +310,9 @@ type Snapshot struct {
 }
 
 // Snapshot captures the registry's current state. A nil registry yields an
-// empty snapshot.
+// empty snapshot. Snapshot is safe to call while other goroutines update
+// metrics — the export server scrapes a live referee this way — and every
+// histogram in the result satisfies Count == Σ bucket counts even mid-update.
 func (r *Registry) Snapshot() Snapshot {
 	var s Snapshot
 	if r == nil {
@@ -308,7 +335,7 @@ func (r *Registry) Snapshot() Snapshot {
 	if len(r.histograms) > 0 {
 		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
 		for name, h := range r.histograms {
-			s.Histograms[name] = h.snapshot()
+			s.Histograms[name] = h.Snapshot()
 		}
 	}
 	return s

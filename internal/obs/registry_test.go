@@ -119,6 +119,98 @@ func TestRegistryConcurrency(t *testing.T) {
 	}
 }
 
+// TestSnapshotDuringUpdates pins the export-server contract: Snapshot runs
+// while referee goroutines hammer the same metrics, stays race-free (run
+// with -race), and every histogram snapshot satisfies Count == Σ bucket
+// counts with sane aggregates even mid-update.
+func TestSnapshotDuringUpdates(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perG = 5000
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for i := 0; i < writers; i++ {
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				r.Counter("votes").Inc()
+				r.Gauge("occupancy").Add(1)
+				r.Gauge("occupancy").Add(-1)
+				r.Histogram("apply_ns", LatencyBuckets()).Observe(int64(j%4096 + 1))
+			}
+		}(i)
+	}
+	// Scrape continuously until the writers finish.
+	go func() { wg.Wait(); close(stop) }()
+	var snaps int
+	for {
+		s := r.Snapshot()
+		snaps++
+		h := s.Histograms["apply_ns"]
+		var inBuckets int64
+		for _, b := range h.Buckets {
+			inBuckets += b.Count
+		}
+		if inBuckets != h.Count {
+			t.Fatalf("mid-update snapshot: buckets sum to %d, count %d", inBuckets, h.Count)
+		}
+		if h.Count > 0 {
+			if h.Min < 1 || h.Max > 4096 {
+				t.Fatalf("mid-update min/max = %d/%d", h.Min, h.Max)
+			}
+			if h.Sum < h.Count*h.Min {
+				t.Fatalf("mid-update sum %d below count*min %d", h.Sum, h.Count*h.Min)
+			}
+		}
+		if c := s.Counters["votes"]; c < 0 || c > writers*perG {
+			t.Fatalf("mid-update counter = %d", c)
+		}
+		select {
+		case <-stop:
+			if snaps < 2 {
+				t.Logf("only %d snapshots raced the writers", snaps)
+			}
+			final := r.Snapshot()
+			if final.Counters["votes"] != writers*perG {
+				t.Fatalf("final counter = %d, want %d", final.Counters["votes"], writers*perG)
+			}
+			if final.Histograms["apply_ns"].Count != writers*perG {
+				t.Fatalf("final count = %d, want %d", final.Histograms["apply_ns"].Count, writers*perG)
+			}
+			if g := final.Gauges["occupancy"]; g != 0 {
+				t.Fatalf("final gauge = %g, want 0 after balanced Add calls", g)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("sessions")
+	g.Add(3)
+	g.Add(-1)
+	if v := g.Value(); v != 2 {
+		t.Fatalf("gauge = %g, want 2", v)
+	}
+	g.Set(10)
+	g.Add(0.5)
+	if v := g.Value(); v != 10.5 {
+		t.Fatalf("gauge = %g, want 10.5", v)
+	}
+	var nilG *Gauge
+	nilG.Add(1) // must not panic
+}
+
+func TestHistogramSnapshotNil(t *testing.T) {
+	var h *Histogram
+	if s := h.Snapshot(); s.Count != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("nil histogram snapshot = %+v", s)
+	}
+}
+
 func TestSnapshotDiff(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a").Add(3)

@@ -1,0 +1,216 @@
+// Package trace is a minimal span-based tracer layered on the obs journal.
+// Spans record what happened when — node sample draws, frame writes, referee
+// applies, verdicts — as JSONL records causally linked by parent span IDs,
+// so one cluster run yields a tree from NodeClient sample to final verdict
+// even when the spans are emitted by different processes.
+//
+// Design constraints, in priority order:
+//
+//   - Verdict invariance. Tracing observes; it never influences control
+//     flow. No method returns data a caller could branch on (timing stays
+//     inside the emitted records), and every entry point is nil-safe, so
+//     instrumented code behaves identically with tracing on or off.
+//   - Deterministic identity. Span IDs that cross process boundaries are
+//     derived from run coordinates (trace ID, trial, node) via Derive, not
+//     drawn from randomness, so the same run produces the same span graph
+//     and both ends of a wire frame agree on the ID without negotiation.
+//   - Wall-clock honesty. Span timestamps are real time.Now observations —
+//     this package is the one legitimate wall-clock site in the obs layer,
+//     and the wallclock analyzer allowlists exactly this import path.
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+
+	"github.com/unifdist/unifdist/internal/obs"
+)
+
+// ID is a 64-bit span or trace identifier, rendered as 16 hex digits. The
+// zero ID means "absent".
+type ID uint64
+
+// String renders the ID as fixed-width lowercase hex.
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// MarshalText renders the ID for JSON/text encoding.
+func (id ID) MarshalText() ([]byte, error) { return []byte(id.String()), nil }
+
+// UnmarshalText parses the fixed-width hex form.
+func (id *ID) UnmarshalText(b []byte) error {
+	var v uint64
+	if _, err := fmt.Sscanf(string(b), "%016x", &v); err != nil {
+		return fmt.Errorf("trace: bad ID %q: %w", b, err)
+	}
+	*id = ID(v)
+	return nil
+}
+
+// Context identifies a position in a trace: the run-wide trace ID plus one
+// span within it. The zero Context means "untraced".
+type Context struct {
+	Trace ID
+	Span  ID
+}
+
+// IsZero reports whether the context is absent.
+func (c Context) IsZero() bool { return c.Trace == 0 }
+
+// Derive maps a name plus integer coordinates to a deterministic nonzero
+// ID via FNV-1a. Both ends of a wire connection can derive the same span ID
+// from shared run coordinates (seed, trial, node) without exchanging state.
+func Derive(name string, parts ...uint64) ID {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	var buf [8]byte
+	for _, p := range parts {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(p >> (8 * (7 - i)))
+		}
+		h.Write(buf[:])
+	}
+	v := h.Sum64()
+	if v == 0 {
+		v = 1 // keep derived IDs out of the "absent" value
+	}
+	return ID(v)
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A builds an Attr.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Tracer emits span records into an obs journal. A nil *Tracer disables
+// tracing: Start returns a nil *Span whose methods no-op, so callers thread
+// a tracer unconditionally.
+type Tracer struct {
+	j     *obs.Journal
+	trace ID
+	seq   atomic.Uint64
+}
+
+// New returns a tracer writing to j under the given trace ID, or nil (a
+// disabled tracer) when j is nil or the trace ID is zero.
+func New(j *obs.Journal, trace ID) *Tracer {
+	if j == nil || trace == 0 {
+		return nil
+	}
+	return &Tracer{j: j, trace: trace}
+}
+
+// Enabled reports whether spans will be recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Trace returns the run-wide trace ID (zero when disabled).
+func (t *Tracer) Trace() ID {
+	if t == nil {
+		return 0
+	}
+	return t.trace
+}
+
+// Start opens a span with a fresh process-local ID. The parent may be the
+// zero Context for a root span. End must be called to record it.
+func (t *Tracer) Start(name string, parent Context, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	// Process-local IDs come from a sequence, offset into the trace ID's
+	// space so two tracers in one process don't collide.
+	id := Derive("local", uint64(t.trace), t.seq.Add(1))
+	return t.start(name, id, parent, attrs)
+}
+
+// StartID opens a span with a caller-derived ID (see Derive), letting the
+// two ends of a wire connection agree on the span identity.
+func (t *Tracer) StartID(name string, id ID, parent Context, attrs ...Attr) *Span {
+	if t == nil || id == 0 {
+		return nil
+	}
+	return t.start(name, id, parent, attrs)
+}
+
+func (t *Tracer) start(name string, id ID, parent Context, attrs []Attr) *Span {
+	s := &Span{
+		t:      t,
+		name:   name,
+		ctx:    Context{Trace: t.trace, Span: id},
+		parent: parent.Span,
+		start:  time.Now(),
+	}
+	if len(attrs) > 0 {
+		s.attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			s.attrs[a.Key] = a.Value
+		}
+	}
+	return s
+}
+
+// Span is one in-flight span. A nil *Span no-ops every method.
+type Span struct {
+	t      *Tracer
+	name   string
+	ctx    Context
+	parent ID
+	start  time.Time
+	attrs  map[string]any
+}
+
+// Context returns the span's trace position, for propagation into wire
+// frames or child spans. Zero on a nil span.
+func (s *Span) Context() Context {
+	if s == nil {
+		return Context{}
+	}
+	return s.ctx
+}
+
+// Annotate adds attributes to the span before End.
+func (s *Span) Annotate(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, len(attrs))
+	}
+	for _, a := range attrs {
+		s.attrs[a.Key] = a.Value
+	}
+}
+
+// spanRecord is the JSONL shape of a completed span.
+type spanRecord struct {
+	Kind    string         `json:"kind"`
+	Name    string         `json:"name"`
+	Trace   ID             `json:"trace"`
+	Span    ID             `json:"span"`
+	Parent  ID             `json:"parent,omitempty"`
+	StartNS int64          `json:"start_ns"`
+	DurNS   int64          `json:"dur_ns"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// End records the span to the journal.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.j.Write(spanRecord{
+		Kind:    "span",
+		Name:    s.name,
+		Trace:   s.ctx.Trace,
+		Span:    s.ctx.Span,
+		Parent:  s.parent,
+		StartNS: s.start.UnixNano(),
+		DurNS:   int64(time.Since(s.start)),
+		Attrs:   s.attrs,
+	})
+}

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/unifdist/unifdist/internal/obs"
+)
+
+func TestNilTracerIsFullyDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Trace() != 0 {
+		t.Fatal("nil tracer has a trace ID")
+	}
+	s := tr.Start("x", Context{}, A("k", 1))
+	if s != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	// All span methods must no-op on nil.
+	s.Annotate(A("k", 2))
+	s.End()
+	if !s.Context().IsZero() {
+		t.Fatal("nil span has a context")
+	}
+	if New(nil, 7) != nil {
+		t.Fatal("New with nil journal should disable")
+	}
+	if New(obs.NewJournal(&bytes.Buffer{}), 0) != nil {
+		t.Fatal("New with zero trace ID should disable")
+	}
+}
+
+func TestDeriveDeterministicAndNonzero(t *testing.T) {
+	a := Derive("node.sample", 1, 2, 3)
+	b := Derive("node.sample", 1, 2, 3)
+	if a != b {
+		t.Fatalf("Derive not deterministic: %v vs %v", a, b)
+	}
+	if a == 0 {
+		t.Fatal("Derive returned the absent ID")
+	}
+	if Derive("node.sample", 1, 2, 4) == a {
+		t.Fatal("Derive ignored a coordinate")
+	}
+	if Derive("node.send", 1, 2, 3) == a {
+		t.Fatal("Derive ignored the name")
+	}
+}
+
+func TestIDTextRoundTrip(t *testing.T) {
+	id := ID(0xdeadbeef01)
+	b, err := id.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "000000deadbeef01" {
+		t.Fatalf("MarshalText = %q", b)
+	}
+	var back ID
+	if err := back.UnmarshalText(b); err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Fatalf("round trip: %v != %v", back, id)
+	}
+	if err := back.UnmarshalText([]byte("zz")); err == nil {
+		t.Fatal("UnmarshalText accepted garbage")
+	}
+}
+
+func TestSpansLinkAndSerialize(t *testing.T) {
+	var buf bytes.Buffer
+	j := obs.NewJournal(&buf)
+	tr := New(j, Derive("run", 42))
+	if !tr.Enabled() {
+		t.Fatal("tracer disabled")
+	}
+
+	root := tr.Start("session", Context{}, A("seed", 42))
+	child := tr.StartID("trial", Derive("trial", uint64(tr.Trace()), 3), root.Context())
+	child.Annotate(A("trial", 3))
+	child.End()
+	root.End()
+
+	type rec struct {
+		Kind   string         `json:"kind"`
+		Name   string         `json:"name"`
+		Trace  string         `json:"trace"`
+		Span   string         `json:"span"`
+		Parent string         `json:"parent"`
+		StartN int64          `json:"start_ns"`
+		DurNS  *int64         `json:"dur_ns"`
+		Attrs  map[string]any `json:"attrs"`
+	}
+	var recs []rec
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var r rec
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad journal line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	// Spans are recorded at End, so the child lands first.
+	if recs[0].Name != "trial" || recs[1].Name != "session" {
+		t.Fatalf("record order: %q, %q", recs[0].Name, recs[1].Name)
+	}
+	for _, r := range recs {
+		if r.Kind != "span" {
+			t.Fatalf("kind = %q", r.Kind)
+		}
+		if r.Trace != tr.Trace().String() {
+			t.Fatalf("trace = %q, want %q", r.Trace, tr.Trace())
+		}
+		if r.DurNS == nil {
+			t.Fatal("dur_ns missing")
+		}
+	}
+	if recs[0].Parent != recs[1].Span {
+		t.Fatalf("child parent %q does not link to root span %q", recs[0].Parent, recs[1].Span)
+	}
+	if recs[1].Parent != "" {
+		t.Fatalf("root span has parent %q", recs[1].Parent)
+	}
+	if v, ok := recs[0].Attrs["trial"].(float64); !ok || v != 3 {
+		t.Fatalf("child attrs = %v", recs[0].Attrs)
+	}
+	// The wire-derivable span ID must match an independent derivation.
+	if recs[0].Span != Derive("trial", uint64(tr.Trace()), 3).String() {
+		t.Fatalf("derived span ID mismatch: %q", recs[0].Span)
+	}
+}
+
+func TestStartIDRejectsZero(t *testing.T) {
+	tr := New(obs.NewJournal(&bytes.Buffer{}), 5)
+	if s := tr.StartID("x", 0, Context{}); s != nil {
+		t.Fatal("StartID(0) returned a live span")
+	}
+}

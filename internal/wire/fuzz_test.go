@@ -30,6 +30,9 @@ func FuzzWireRoundTrip(f *testing.F) {
 			&Done{Node: d},
 			&Verdict{Trials: a, Accepts: b, Missing: c},
 		}
+		// A nonzero trace ID derived from the fuzzed fields; every frame is
+		// exercised both untraced (v1) and traced (v2).
+		tc := TraceContext{Trace: uint64(a)<<32 | uint64(b) | 1, Span: uint64(c)<<32 | uint64(d)}
 		var stream []byte
 		for _, fr := range frames {
 			enc := Append(nil, fr)
@@ -50,8 +53,25 @@ func FuzzWireRoundTrip(f *testing.F) {
 				t.Fatalf("round trip: got %#v, want %#v", got, fr)
 			}
 			stream = append(stream, enc...)
+
+			traced := AppendTraced(nil, fr, tc)
+			if len(traced) != EncodedSizeTraced(fr, tc) {
+				t.Fatalf("%T: traced encoded %d bytes, EncodedSizeTraced %d", fr, len(traced), EncodedSizeTraced(fr, tc))
+			}
+			if len(traced)-4 > MaxFrameBytes {
+				t.Fatalf("%T: traced frame body %d bytes exceeds MaxFrameBytes", fr, len(traced)-4)
+			}
+			gotT, gotTC, n, err := DecodeTraced(traced)
+			if err != nil {
+				t.Fatalf("%T: decode own traced encoding: %v", fr, err)
+			}
+			if n != len(traced) || gotTC != tc || !reflect.DeepEqual(gotT, fr) {
+				t.Fatalf("traced round trip: got (%#v, %+v, %d), want (%#v, %+v, %d)", gotT, gotTC, n, fr, tc, len(traced))
+			}
+			stream = append(stream, traced...)
 		}
-		// The same frames concatenated must stream-decode in order.
+		// The same frames concatenated must stream-decode in order,
+		// alternating untraced and traced copies.
 		r := NewReader(bytes.NewReader(stream))
 		for i, want := range frames {
 			got, err := r.ReadFrame()
@@ -60,6 +80,13 @@ func FuzzWireRoundTrip(f *testing.F) {
 			}
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("stream frame %d: got %#v, want %#v", i, got, want)
+			}
+			gotT, gotTC, err := r.ReadFrameTraced()
+			if err != nil {
+				t.Fatalf("stream traced frame %d: %v", i, err)
+			}
+			if !reflect.DeepEqual(gotT, want) || gotTC != tc {
+				t.Fatalf("stream traced frame %d: got (%#v, %+v)", i, gotT, gotTC)
 			}
 		}
 		if _, err := r.ReadFrame(); err != io.EOF {
@@ -73,20 +100,22 @@ func FuzzWireRoundTrip(f *testing.F) {
 			if err == nil || err == io.EOF {
 				return
 			}
-			for _, known := range []error{ErrTruncated, ErrOversize, ErrVersion, ErrUnknownType, ErrFrameSize} {
+			for _, known := range []error{ErrTruncated, ErrOversize, ErrVersion, ErrUnknownType, ErrFrameSize, ErrTraceContext} {
 				if errors.Is(err, known) {
 					return
 				}
 			}
 			t.Fatalf("unexpected error class: %v", err)
 		}
-		fr, n, err := Decode(raw)
+		fr, ftc, n, err := DecodeTraced(raw)
 		if err == nil {
 			if fr == nil || n < 4 || n > len(raw) {
 				t.Fatalf("Decode(raw) = (%v, %d, nil) on %d bytes", fr, n, len(raw))
 			}
-			// Whatever decoded must re-encode to the exact consumed bytes.
-			if re := Append(nil, fr); !bytes.Equal(re, raw[:n]) {
+			// Whatever decoded must re-encode to the exact consumed bytes:
+			// the codec is canonical (untraced frames are always v1, traced
+			// frames always v2 with a nonzero trace ID).
+			if re := AppendTraced(nil, fr, ftc); !bytes.Equal(re, raw[:n]) {
 				t.Fatalf("re-encode mismatch: %x vs %x", re, raw[:n])
 			}
 		} else {

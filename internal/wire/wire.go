@@ -9,17 +9,28 @@
 //	[4-byte big-endian frame length][1-byte version][1-byte type][payload]
 //
 // where the length counts the version, type and payload bytes (not the
-// prefix itself). Frames are tiny and fixed-size per type; the decoder
-// enforces both the per-type payload size and a global MaxFrameBytes cap
-// before reading a body, mirroring the simulator's CONGEST bandwidth check
+// prefix itself). Two versions are in play: version 1 frames carry the bare
+// payload, and version 2 frames append a 16-byte trace context (trace ID +
+// span ID, both big-endian uint64, trace ID nonzero) that links the frame
+// into the telemetry plane's distributed trace. The encoder stamps version
+// 1 whenever no trace context is attached — untraced traffic is
+// byte-identical to the pre-trace protocol, so version-1-only decoders keep
+// accepting it — and the decoder accepts both versions, rejecting anything
+// newer with ErrVersion. Trace context is observability metadata only: the
+// referee's verdicts never depend on it.
+//
+// Frames are tiny and fixed-size per type; the decoder enforces both the
+// per-type payload size and a global MaxFrameBytes cap before reading a
+// body, mirroring the simulator's CONGEST bandwidth check
 // (simnet.ErrBandwidthExceeded): a peer cannot make the referee allocate or
 // buffer unbounded memory by lying in the length prefix, and an oversized
 // frame is a protocol error, not a crash.
 //
 // Decoding never panics on adversarial input: truncated, oversized,
-// wrong-version, unknown-type and mis-sized frames all surface as typed
-// errors (ErrTruncated, ErrOversize, ErrVersion, ErrUnknownType,
-// ErrFrameSize), which FuzzWireRoundTrip pins.
+// wrong-version, unknown-type, mis-sized and bad-trace-context frames all
+// surface as typed errors (ErrTruncated, ErrOversize, ErrVersion,
+// ErrUnknownType, ErrFrameSize, ErrTraceContext), which FuzzWireRoundTrip
+// pins.
 package wire
 
 import (
@@ -29,18 +40,41 @@ import (
 	"io"
 )
 
-// Version is the protocol version stamped into (and required of) every
-// frame.
-const Version = 1
+// Version is the current protocol version: version-2 frames carry a
+// trailing TraceContext. The encoder only stamps it on traced frames;
+// untraced frames encode at MinVersion so pre-trace decoders still accept
+// them.
+const Version = 2
 
-// MaxFrameBytes caps the on-wire frame length (version + type + payload).
-// All defined frames are ≤ 18 bytes; the cap leaves headroom for future
-// frame types while keeping the referee's per-connection buffer trivially
-// bounded — the cluster analogue of the CONGEST per-edge bandwidth limit.
+// MinVersion is the oldest protocol version the decoder accepts: the
+// trace-free framing of the original cluster runtime.
+const MinVersion = 1
+
+// MaxFrameBytes caps the on-wire frame length (version + type + payload +
+// optional trace context). All defined frames are ≤ 34 bytes; the cap
+// leaves headroom for future frame types while keeping the referee's
+// per-connection buffer trivially bounded — the cluster analogue of the
+// CONGEST per-edge bandwidth limit.
 const MaxFrameBytes = 64
 
 // headerBytes is the length prefix size.
 const headerBytes = 4
+
+// traceContextBytes is the encoded size of a TraceContext suffix.
+const traceContextBytes = 16
+
+// TraceContext is the optional trace correlation suffix of a version-2
+// frame: the sender's trace ID and the span that emitted the frame. A zero
+// Trace means "absent" — such frames encode at MinVersion without the
+// suffix, and the decoder rejects a version-2 frame whose trace ID is zero
+// (ErrTraceContext) so every encoding has exactly one byte representation.
+type TraceContext struct {
+	Trace uint64
+	Span  uint64
+}
+
+// IsZero reports whether the context is absent (no trace ID).
+func (tc TraceContext) IsZero() bool { return tc.Trace == 0 }
 
 // Frame type identifiers.
 const (
@@ -58,6 +92,25 @@ const (
 	TypeVerdict
 )
 
+// TypeName returns a short lowercase name for a frame type byte, for
+// metric and span labels ("hello", "vote", ...; "type<N>" when unknown).
+func TypeName(t byte) string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeVote:
+		return "vote"
+	case TypeSketch:
+		return "sketch"
+	case TypeDone:
+		return "done"
+	case TypeVerdict:
+		return "verdict"
+	default:
+		return fmt.Sprintf("type%d", t)
+	}
+}
+
 // Codec errors. Decode and ReadFrame wrap these with positional detail;
 // match with errors.Is.
 var (
@@ -72,6 +125,9 @@ var (
 	ErrUnknownType = errors.New("wire: unknown frame type")
 	// ErrFrameSize marks a known frame type with the wrong payload size.
 	ErrFrameSize = errors.New("wire: wrong payload size for frame type")
+	// ErrTraceContext marks a version-2 frame whose trace context is
+	// malformed (zero trace ID).
+	ErrTraceContext = errors.New("wire: invalid trace context")
 )
 
 // Frame is one protocol message. Implementations are small value types;
@@ -225,48 +281,83 @@ func (v *Verdict) decodePayload(p []byte) error {
 }
 
 // Append appends f's full wire encoding (length prefix, version, type,
-// payload) to dst and returns the extended slice.
+// payload) to dst and returns the extended slice. Frames encoded this way
+// carry no trace context and are stamped MinVersion — byte-identical to the
+// pre-trace protocol.
 func Append(dst []byte, f Frame) []byte {
-	n := 2 + f.payloadSize() // version + type + payload
-	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
-	dst = append(dst, Version, f.Type())
-	return f.appendPayload(dst)
+	return AppendTraced(dst, f, TraceContext{})
 }
 
-// EncodedSize returns the full on-wire size of f including the length
-// prefix.
+// AppendTraced appends f's wire encoding carrying tc. A context with a zero
+// trace ID is treated as absent and encodes exactly like Append; a nonzero
+// one stamps the frame at Version with the 16-byte suffix.
+func AppendTraced(dst []byte, f Frame, tc TraceContext) []byte {
+	if tc.IsZero() {
+		n := 2 + f.payloadSize() // version + type + payload
+		dst = binary.BigEndian.AppendUint32(dst, uint32(n))
+		dst = append(dst, MinVersion, f.Type())
+		return f.appendPayload(dst)
+	}
+	n := 2 + f.payloadSize() + traceContextBytes
+	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
+	dst = append(dst, Version, f.Type())
+	dst = f.appendPayload(dst)
+	dst = binary.BigEndian.AppendUint64(dst, tc.Trace)
+	return binary.BigEndian.AppendUint64(dst, tc.Span)
+}
+
+// EncodedSize returns the full untraced on-wire size of f including the
+// length prefix.
 func EncodedSize(f Frame) int { return headerBytes + 2 + f.payloadSize() }
 
+// EncodedSizeTraced returns the on-wire size of f when carrying tc.
+func EncodedSizeTraced(f Frame, tc TraceContext) int {
+	if tc.IsZero() {
+		return EncodedSize(f)
+	}
+	return EncodedSize(f) + traceContextBytes
+}
+
 // Decode parses one frame from the front of b, returning the frame and the
-// number of bytes consumed. An incomplete buffer returns ErrTruncated (a
+// number of bytes consumed (any trace context is validated but dropped; use
+// DecodeTraced to keep it). An incomplete buffer returns ErrTruncated (a
 // stream reader should read more and retry); a malformed one returns
-// ErrOversize, ErrVersion, ErrUnknownType or ErrFrameSize.
+// ErrOversize, ErrVersion, ErrUnknownType, ErrFrameSize or ErrTraceContext.
 func Decode(b []byte) (Frame, int, error) {
+	f, _, n, err := DecodeTraced(b)
+	return f, n, err
+}
+
+// DecodeTraced parses one frame and its trace context from the front of b.
+// The context is zero for version-1 frames.
+func DecodeTraced(b []byte) (Frame, TraceContext, int, error) {
 	if len(b) < headerBytes {
-		return nil, 0, fmt.Errorf("%w: %d header bytes", ErrTruncated, len(b))
+		return nil, TraceContext{}, 0, fmt.Errorf("%w: %d header bytes", ErrTruncated, len(b))
 	}
 	n := binary.BigEndian.Uint32(b)
 	if n > MaxFrameBytes {
-		return nil, 0, fmt.Errorf("%w: declared %d bytes (limit %d)", ErrOversize, n, MaxFrameBytes)
+		return nil, TraceContext{}, 0, fmt.Errorf("%w: declared %d bytes (limit %d)", ErrOversize, n, MaxFrameBytes)
 	}
 	if n < 2 {
-		return nil, 0, fmt.Errorf("%w: declared %d bytes, need ≥ 2", ErrFrameSize, n)
+		return nil, TraceContext{}, 0, fmt.Errorf("%w: declared %d bytes, need ≥ 2", ErrFrameSize, n)
 	}
 	total := headerBytes + int(n)
 	if len(b) < total {
-		return nil, 0, fmt.Errorf("%w: have %d of %d bytes", ErrTruncated, len(b), total)
+		return nil, TraceContext{}, 0, fmt.Errorf("%w: have %d of %d bytes", ErrTruncated, len(b), total)
 	}
-	f, err := decodeBody(b[headerBytes:total])
+	f, tc, err := decodeBody(b[headerBytes:total])
 	if err != nil {
-		return nil, 0, err
+		return nil, TraceContext{}, 0, err
 	}
-	return f, total, nil
+	return f, tc, total, nil
 }
 
-// decodeBody parses version, type and payload from a complete frame body.
-func decodeBody(body []byte) (Frame, error) {
-	if body[0] != Version {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, body[0], Version)
+// decodeBody parses version, type, payload and optional trace context from
+// a complete frame body.
+func decodeBody(body []byte) (Frame, TraceContext, error) {
+	v := body[0]
+	if v < MinVersion || v > Version {
+		return nil, TraceContext{}, fmt.Errorf("%w: got %d, want %d..%d", ErrVersion, v, MinVersion, Version)
 	}
 	var f Frame
 	switch t := body[1]; t {
@@ -281,24 +372,44 @@ func decodeBody(body []byte) (Frame, error) {
 	case TypeVerdict:
 		f = &Verdict{}
 	default:
-		return nil, fmt.Errorf("%w: type %d", ErrUnknownType, t)
+		return nil, TraceContext{}, fmt.Errorf("%w: type %d", ErrUnknownType, t)
 	}
 	payload := body[2:]
-	if len(payload) != f.payloadSize() {
-		return nil, fmt.Errorf("%w: type %d payload %d bytes, want %d",
+	var tc TraceContext
+	if v >= Version {
+		// Version 2 requires the trace-context suffix.
+		want := f.payloadSize() + traceContextBytes
+		if len(payload) != want {
+			return nil, TraceContext{}, fmt.Errorf("%w: type %d v%d payload %d bytes, want %d",
+				ErrFrameSize, body[1], v, len(payload), want)
+		}
+		tail := payload[f.payloadSize():]
+		tc.Trace = binary.BigEndian.Uint64(tail[:8])
+		tc.Span = binary.BigEndian.Uint64(tail[8:])
+		if tc.Trace == 0 {
+			return nil, TraceContext{}, fmt.Errorf("%w: zero trace ID on a v%d frame", ErrTraceContext, v)
+		}
+		payload = payload[:f.payloadSize()]
+	} else if len(payload) != f.payloadSize() {
+		return nil, TraceContext{}, fmt.Errorf("%w: type %d payload %d bytes, want %d",
 			ErrFrameSize, body[1], len(payload), f.payloadSize())
 	}
 	if err := f.decodePayload(payload); err != nil {
-		return nil, err
+		return nil, TraceContext{}, err
 	}
-	return f, nil
+	return f, tc, nil
 }
 
 // WriteFrame writes f's encoding to w in one Write call (frames are small
 // enough that partial writes only occur on a failing connection).
 func WriteFrame(w io.Writer, f Frame) error {
-	buf := make([]byte, 0, EncodedSize(f))
-	buf = Append(buf, f)
+	return WriteFrameTraced(w, f, TraceContext{})
+}
+
+// WriteFrameTraced writes f's encoding carrying tc to w in one Write call.
+func WriteFrameTraced(w io.Writer, f Frame, tc TraceContext) error {
+	buf := make([]byte, 0, EncodedSizeTraced(f, tc))
+	buf = AppendTraced(buf, f, tc)
 	if _, err := w.Write(buf); err != nil {
 		return fmt.Errorf("wire: write %T: %w", f, err)
 	}
@@ -315,9 +426,36 @@ type Reader struct {
 // NewReader wraps r as a frame stream.
 func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 
-// ReadFrame reads and decodes the next frame. io.EOF is returned unwrapped
-// at a clean frame boundary; an EOF mid-frame surfaces as ErrTruncated.
+// ReadFrame reads and decodes the next frame, dropping any trace context.
+// io.EOF is returned unwrapped at a clean frame boundary; an EOF mid-frame
+// surfaces as ErrTruncated.
 func (r *Reader) ReadFrame() (Frame, error) {
+	f, _, err := r.ReadFrameTraced()
+	return f, err
+}
+
+// ReadFrameTraced reads and decodes the next frame along with its trace
+// context (zero for version-1 frames).
+func (r *Reader) ReadFrameTraced() (Frame, TraceContext, error) {
+	body, err := r.ReadBody()
+	if err != nil {
+		return nil, TraceContext{}, err
+	}
+	return DecodeBody(body)
+}
+
+// DecodeBody parses a complete frame body (version, type, payload, optional
+// trace context) as returned by Reader.ReadBody. Callers that want to time
+// decoding separately from blocking I/O use ReadBody + DecodeBody; the
+// fused form is ReadFrameTraced.
+func DecodeBody(body []byte) (Frame, TraceContext, error) {
+	return decodeBody(body)
+}
+
+// ReadBody reads the next frame's body into the reader's internal buffer
+// and returns it without decoding. The slice is only valid until the next
+// read call.
+func (r *Reader) ReadBody() ([]byte, error) {
 	head := r.buf[:headerBytes]
 	if _, err := io.ReadFull(r.r, head); err != nil {
 		if err == io.EOF {
@@ -342,5 +480,5 @@ func (r *Reader) ReadFrame() (Frame, error) {
 		}
 		return nil, fmt.Errorf("wire: read body: %w", err)
 	}
-	return decodeBody(body)
+	return body, nil
 }

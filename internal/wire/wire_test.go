@@ -130,6 +130,127 @@ func TestDecodeRejectsBadVoteFlag(t *testing.T) {
 	}
 }
 
+func TestTracedRoundTripEveryType(t *testing.T) {
+	tc := TraceContext{Trace: 0xdeadbeefcafef00d, Span: 0x0123456789abcdef}
+	for _, f := range everyFrame() {
+		buf := AppendTraced(nil, f, tc)
+		if len(buf) != EncodedSizeTraced(f, tc) {
+			t.Errorf("%T: encoded %d bytes, EncodedSizeTraced says %d", f, len(buf), EncodedSizeTraced(f, tc))
+		}
+		if buf[4] != Version {
+			t.Errorf("%T: traced frame stamped version %d, want %d", f, buf[4], Version)
+		}
+		got, gotTC, n, err := DecodeTraced(buf)
+		if err != nil {
+			t.Fatalf("%T: decode traced: %v", f, err)
+		}
+		if n != len(buf) {
+			t.Errorf("%T: consumed %d of %d bytes", f, n, len(buf))
+		}
+		if gotTC != tc {
+			t.Errorf("%T: trace context %+v, want %+v", f, gotTC, tc)
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Errorf("round trip: got %#v, want %#v", got, f)
+		}
+		// The plain decoder must accept the same frame, dropping the context.
+		if plain, _, err := Decode(buf); err != nil || !reflect.DeepEqual(plain, f) {
+			t.Errorf("Decode(traced) = (%#v, %v)", plain, err)
+		}
+	}
+}
+
+func TestTracedReaderStream(t *testing.T) {
+	frames := everyFrame()
+	var buf bytes.Buffer
+	for i, f := range frames {
+		// Alternate traced and untraced frames in one stream.
+		tc := TraceContext{}
+		if i%2 == 0 {
+			tc = TraceContext{Trace: uint64(i) + 1, Span: uint64(i) * 7}
+		}
+		if err := WriteFrameTraced(&buf, f, tc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, want := range frames {
+		got, tc, err := r.ReadFrameTraced()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("frame %d: got %#v, want %#v", i, got, want)
+		}
+		if i%2 == 0 && tc.Trace != uint64(i)+1 {
+			t.Errorf("frame %d: trace %d, want %d", i, tc.Trace, i+1)
+		}
+		if i%2 == 1 && !tc.IsZero() {
+			t.Errorf("frame %d: unexpected trace context %+v", i, tc)
+		}
+	}
+}
+
+// TestVersionNegotiation pins the cross-version contract: v1 frames (the
+// pre-trace encoding) decode with a zero context, v2 frames require a
+// well-formed trace context, and a v-next frame is rejected with ErrVersion
+// rather than a panic.
+func TestVersionNegotiation(t *testing.T) {
+	vote := &Vote{Trial: 3, Node: 9, Reject: true}
+	tc := TraceContext{Trace: 77, Span: 88}
+
+	t.Run("v1 accepted without context", func(t *testing.T) {
+		b := Append(nil, vote)
+		if b[4] != MinVersion {
+			t.Fatalf("untraced frame stamped version %d, want %d", b[4], MinVersion)
+		}
+		f, gotTC, _, err := DecodeTraced(b)
+		if err != nil || !gotTC.IsZero() || !reflect.DeepEqual(f, vote) {
+			t.Fatalf("DecodeTraced(v1) = (%#v, %+v, %v)", f, gotTC, err)
+		}
+	})
+	t.Run("zero context encodes as v1", func(t *testing.T) {
+		if !bytes.Equal(AppendTraced(nil, vote, TraceContext{}), Append(nil, vote)) {
+			t.Fatal("AppendTraced with zero context is not byte-identical to Append")
+		}
+	})
+	t.Run("v1 with trailing context bytes rejected", func(t *testing.T) {
+		b := AppendTraced(nil, vote, tc)
+		b[4] = MinVersion // claim v1 while carrying the 16-byte suffix
+		binary.BigEndian.PutUint32(b, uint32(len(b)-headerBytes))
+		if _, _, err := Decode(b); !errors.Is(err, ErrFrameSize) {
+			t.Fatalf("err = %v, want ErrFrameSize", err)
+		}
+	})
+	t.Run("v2 without context rejected", func(t *testing.T) {
+		b := Append(nil, vote)
+		b[4] = Version
+		if _, _, err := Decode(b); !errors.Is(err, ErrFrameSize) {
+			t.Fatalf("err = %v, want ErrFrameSize", err)
+		}
+	})
+	t.Run("v2 with zero trace ID rejected", func(t *testing.T) {
+		b := AppendTraced(nil, vote, tc)
+		zero := make([]byte, 8)
+		copy(b[len(b)-traceContextBytes:], zero)
+		if _, _, err := Decode(b); !errors.Is(err, ErrTraceContext) {
+			t.Fatalf("err = %v, want ErrTraceContext", err)
+		}
+	})
+	t.Run("v-next rejected gracefully", func(t *testing.T) {
+		for _, base := range [][]byte{Append(nil, vote), AppendTraced(nil, vote, tc)} {
+			b := append([]byte(nil), base...)
+			b[4] = Version + 1
+			if _, _, err := Decode(b); !errors.Is(err, ErrVersion) {
+				t.Fatalf("Decode err = %v, want ErrVersion", err)
+			}
+			if _, err := NewReader(bytes.NewReader(b)).ReadFrame(); !errors.Is(err, ErrVersion) {
+				t.Fatalf("Reader err = %v, want ErrVersion", err)
+			}
+		}
+	})
+}
+
 func TestDecodeConsumesOneFrameOfMany(t *testing.T) {
 	first := Append(nil, &Vote{Trial: 9, Node: 1, Reject: true})
 	b := Append(append([]byte(nil), first...), &Done{Node: 1})
