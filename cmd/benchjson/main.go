@@ -27,13 +27,15 @@ import (
 )
 
 // Result is one benchmark line. NsPerOp is wall time per iteration;
-// BytesPerOp/AllocsPerOp are present only when -benchmem was set.
+// BytesPerOp/AllocsPerOp are present only when -benchmem was set. Extra
+// collects custom b.ReportMetric units (e.g. "votes/sec") keyed by unit.
 type Result struct {
-	Name        string   `json:"name"`
-	Iterations  int64    `json:"iterations"`
-	NsPerOp     float64  `json:"ns_per_op"`
-	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -137,6 +139,12 @@ func parseLine(line string) (Result, bool) {
 		case "allocs/op":
 			v := val
 			res.AllocsPerOp = &v
+		default:
+			// Custom b.ReportMetric units ride along keyed by unit name.
+			if res.Extra == nil {
+				res.Extra = map[string]float64{}
+			}
+			res.Extra[fields[i+1]] = val
 		}
 	}
 	if !havePrimary {

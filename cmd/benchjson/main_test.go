@@ -90,3 +90,32 @@ func TestRunEmptyInputFails(t *testing.T) {
 		t.Fatal("empty input did not error")
 	}
 }
+
+func TestParseCustomMetrics(t *testing.T) {
+	line := "BenchmarkRefereePipe/batch128-8   \t       3\t 369935384 ns/op\t   3460090 votes/sec\t57949424 B/op\t  299995 allocs/op\n"
+	results, err := Parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkRefereePipe/batch128" || r.NsPerOp != 369935384 {
+		t.Fatalf("result = %+v", r)
+	}
+	if got := r.Extra["votes/sec"]; got != 3460090 {
+		t.Fatalf("votes/sec = %v, want 3460090", got)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 57949424 {
+		t.Fatalf("B/op lost next to a custom metric: %+v", r)
+	}
+	// Custom metrics survive the JSON round trip.
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"votes/sec":3460090`) {
+		t.Fatalf("extra metric missing from JSON: %s", buf.String())
+	}
+}

@@ -404,3 +404,83 @@ func TestRunErrors(t *testing.T) {
 		})
 	}
 }
+
+// reportSansStats extracts the report from a -json run document and
+// strips the transport stats, which legitimately differ between batched
+// and unbatched executions. Everything else must match byte for byte.
+func reportSansStats(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var doc struct {
+		Results struct {
+			Report map[string]json.RawMessage `json:"report"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("run document not parseable: %v", err)
+	}
+	if len(doc.Results.Report) == 0 {
+		t.Fatal("run document has no report")
+	}
+	delete(doc.Results.Report, "stats")
+	// early_trials records at which arriving vote each trial was fixed —
+	// scheduling bookkeeping that varies even between identical runs.
+	delete(doc.Results.Report, "early_trials")
+	out, err := json.Marshal(doc.Results.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestBatchedMatchesUnbatchedTCP is the CI loopback smoke for the
+// high-throughput transport: 2000 nodes × 5 trials = 10^4 votes over real
+// TCP sockets, batched+compressed versus per-frame. The decision-relevant
+// report must be byte-identical, and the batched run must clear a
+// conservative throughput floor (it typically runs orders of magnitude
+// faster; the floor only catches pathological regressions, race-detector
+// builds included).
+func TestBatchedMatchesUnbatchedTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP batching smoke skipped in -short mode")
+	}
+	const votes = 2000 * 5
+	base := []string{"-transport", "tcp", "-k", "2000", "-n", "1024", "-trials", "5", "-seed", "11", "-json"}
+	var plain, batched bytes.Buffer
+	if err := run(base, &plain); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := run(append(base, "-batch", "256", "-compress"), &batched); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if got, want := reportSansStats(t, batched.Bytes()), reportSansStats(t, plain.Bytes()); !bytes.Equal(got, want) {
+		t.Fatalf("batched report diverged from unbatched:\nbatched:   %s\nunbatched: %s", got, want)
+	}
+	var doc struct {
+		Provenance struct {
+			Extra map[string]string `json:"extra"`
+		} `json:"provenance"`
+		Results struct {
+			Report struct {
+				Stats struct {
+					Votes       int `json:"votes"`
+					BatchFrames int `json:"batch_frames"`
+				} `json:"stats"`
+			} `json:"report"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(batched.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Results.Report.Stats.Votes != votes || doc.Results.Report.Stats.BatchFrames == 0 {
+		t.Fatalf("batched run recorded %d votes in %d batch frames",
+			doc.Results.Report.Stats.Votes, doc.Results.Report.Stats.BatchFrames)
+	}
+	if doc.Provenance.Extra["batch"] != "256" || doc.Provenance.Extra["compress"] != "true" {
+		t.Fatalf("provenance did not record the transport shape: %v", doc.Provenance.Extra)
+	}
+	if rate := float64(votes) / elapsed.Seconds(); rate < 5_000 {
+		t.Fatalf("batched TCP throughput %.0f votes/sec below the 5k floor", rate)
+	}
+}

@@ -12,5 +12,6 @@ func TestSharedRNG(t *testing.T) {
 		"sharedrng/bad",
 		"sharedrng/good",
 		"sharedrng/clusterlink",
+		"sharedrng/sendqueue",
 	)
 }

@@ -1,0 +1,50 @@
+// Package sendqueue is the cluster bounded-send-queue idiom: a single
+// writer goroutine drains a channel of pre-encoded frames. All
+// randomness — fault draws, batch contents — is consumed by the producer
+// BEFORE a frame enters the queue, so the writer goroutine never touches
+// a generator and the realized fault pattern cannot depend on writer
+// scheduling.
+package sendqueue
+
+import "rng"
+
+// Queue drains pre-encoded frames through one writer goroutine — the
+// analyzer must stay silent: only []byte crosses the boundary.
+func Queue(seed uint64, frames int) {
+	g := rng.At(seed, 0)
+	items := make(chan []byte, 4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range items {
+		}
+	}()
+	for i := 0; i < frames; i++ {
+		if g.Uint64()&1 == 0 { // fault draw happens producer-side
+			continue
+		}
+		items <- []byte{byte(i)}
+	}
+	close(items)
+	<-done
+}
+
+// DrainWithRNG is the corresponding mistake: deciding faults inside the
+// writer goroutine with a captured generator, so the draw order — and
+// therefore which frames are dropped — depends on queue scheduling.
+func DrainWithRNG(seed uint64, frames int) {
+	g := rng.At(seed, 0)
+	items := make(chan []byte, 4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range items {
+			_ = g.Uint64() // want "rng.RNG .g. captured by goroutine closure"
+		}
+	}()
+	for i := 0; i < frames; i++ {
+		items <- []byte{byte(i)}
+	}
+	close(items)
+	<-done
+}

@@ -1,0 +1,340 @@
+package cluster
+
+import (
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/obs"
+	"github.com/unifdist/unifdist/internal/obs/trace"
+	"github.com/unifdist/unifdist/internal/wire"
+)
+
+// sansStats strips the transport accounting, which legitimately differs
+// between batched and unbatched executions (frame counts, bytes, batch
+// tallies), and EarlyTrials, which records at which arriving vote a trial
+// was fixed — pure scheduling bookkeeping that varies even between two
+// unbatched runs. Everything else — verdicts, rejects, votes, missing,
+// quorum accounting — must be identical.
+func sansStats(r *Report) Report {
+	c := *r
+	c.Stats = RefereeStats{}
+	c.EarlyTrials = 0
+	return c
+}
+
+// TestBatchedMatchesReference pins the batched path to the in-process
+// indexed reference (RunAt), trial for trial, across batch sizes that
+// exercise single-flush, multi-flush and watermark-remainder shapes.
+func TestBatchedMatchesReference(t *testing.T) {
+	nw := thresholdNetwork(t, 64, 60)
+	d := dist.NewTwoBump(64, 1.0, 9)
+	for _, batch := range []int{2, 7, 64, 4096} {
+		checkDifferential(t, nw, d, Config{Trials: 12, BaseSeed: 77, Batch: batch}, RunPipe)
+	}
+	// Compression on top must not change a single verdict.
+	checkDifferential(t, nw, d, Config{Trials: 12, BaseSeed: 77, Batch: 64, Compress: true}, RunPipe)
+}
+
+func TestBatchedMatchesUnbatchedExactly(t *testing.T) {
+	nw := thresholdNetwork(t, 64, 60)
+	d := dist.NewTwoBump(64, 1.0, 4)
+	// Enough trials that each node's batch payload crosses the
+	// MinCompressibleSize threshold, so the Compress cases actually emit
+	// VoteBatchZ frames.
+	base := Config{Trials: 40, BaseSeed: 31}
+	want, err := RunPipe(base, nw, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{Trials: 40, BaseSeed: 31, Batch: 16},
+		{Trials: 40, BaseSeed: 31, Batch: 256, Compress: true},
+		{Trials: 40, BaseSeed: 31, Batch: 256, Compress: true, FlushBytes: 128},
+	} {
+		got, err := RunPipe(cfg, nw, d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sansStats(got), sansStats(want)) {
+			t.Fatalf("batch=%d compress=%v: report diverged from unbatched:\n got %+v\nwant %+v",
+				cfg.Batch, cfg.Compress, sansStats(got), sansStats(want))
+		}
+		if got.Stats.BatchFrames == 0 || got.Stats.BatchedVotes != nw.K()*cfg.Trials {
+			t.Fatalf("batch=%d: stats claim %d batch frames / %d batched votes",
+				cfg.Batch, got.Stats.BatchFrames, got.Stats.BatchedVotes)
+		}
+		if cfg.Compress && got.Stats.BytesSaved <= 0 {
+			t.Fatalf("compressed run saved %d bytes", got.Stats.BytesSaved)
+		}
+		if got.Stats.Bytes >= want.Stats.Bytes {
+			t.Fatalf("batch=%d: batched run used %d wire bytes, unbatched %d",
+				cfg.Batch, got.Stats.Bytes, want.Stats.Bytes)
+		}
+	}
+}
+
+func TestBatchedTCPMatchesReference(t *testing.T) {
+	nw := thresholdNetwork(t, 64, 40)
+	d := dist.NewTwoBump(64, 1.0, 5)
+	checkDifferential(t, nw, d, Config{Trials: 8, BaseSeed: 5, Batch: 128, Compress: true}, RunTCP)
+}
+
+func TestBatchedSketchMatchesReference(t *testing.T) {
+	// Sketch batches carry (samples, collisions) columns; the referee's
+	// derived vote must land on identical verdicts.
+	nw := thresholdNetwork(t, 64, 60)
+	d := dist.NewTwoBump(64, 1.0, 2)
+	checkDifferential(t, nw, d,
+		Config{Trials: 10, BaseSeed: 9, Sketch: true, DomainN: 64, Batch: 32, Compress: true}, RunPipe)
+}
+
+// TestBatchedFaultPlanMatchesUnbatched is the determinism keystone: a
+// seeded drop/dup plan must realize the identical delivered-vote multiset
+// whether votes travel one frame each or packed in batches, because both
+// paths draw the same per-vote fault stream.
+func TestBatchedFaultPlanMatchesUnbatched(t *testing.T) {
+	nw := thresholdNetwork(t, 64, 60)
+	d := dist.NewTwoBump(64, 1.0, 4)
+	plan := &FaultPlan{Seed: 7, Drop: 0.10, Dup: 0.10}
+	want, err := RunPipe(Config{Trials: 8, BaseSeed: 2}, nw, d, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.MissingVotes == 0 || want.Stats.DuplicateVotes == 0 {
+		t.Fatal("plan injected nothing; test is inert")
+	}
+	got, err := RunPipe(Config{Trials: 8, BaseSeed: 2, Batch: 32, Compress: true}, nw, d, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sansStats(got), sansStats(want)) {
+		t.Fatalf("batched faulty report diverged:\n got %+v\nwant %+v", sansStats(got), sansStats(want))
+	}
+	if got.Stats.DuplicateVotes != want.Stats.DuplicateVotes {
+		t.Fatalf("batched run deduplicated %d votes, unbatched %d",
+			got.Stats.DuplicateVotes, want.Stats.DuplicateVotes)
+	}
+}
+
+// TestBatchedDisconnectDrainsPendingVotes checks the graceful-drain
+// contract: when the fault plan kills a batched link, votes batched
+// before the disconnect still reach the referee — matching the per-frame
+// path, where they were already on the wire — so retries converge on the
+// reference verdicts.
+func TestBatchedDisconnectDrainsPendingVotes(t *testing.T) {
+	nw := thresholdNetwork(t, 64, 30)
+	d := dist.NewTwoBump(64, 1.0, 8)
+	plan := &FaultPlan{Seed: 3, Disconnect: 0.02}
+	cfg := Config{Trials: 6, BaseSeed: 4, Retries: 8, Backoff: time.Millisecond, Batch: 64}
+	rep, err := RunPipe(cfg, nw, d, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Connections <= nw.K() {
+		t.Fatalf("%d connections for k=%d: no disconnect was injected", rep.Stats.Connections, nw.K())
+	}
+	if rep.MissingVotes != 0 {
+		t.Fatalf("%d votes missing despite retries", rep.MissingVotes)
+	}
+	for tr := 0; tr < cfg.Trials; tr++ {
+		wantAccept, wantRejects := nw.RunAt(d, cfg.BaseSeed, uint64(tr), nil, nil)
+		if rep.Verdicts[tr] != wantAccept || rep.Rejects[tr] != wantRejects {
+			t.Fatalf("trial %d: (%v, %d), reference (%v, %d)", tr,
+				rep.Verdicts[tr], rep.Rejects[tr], wantAccept, wantRejects)
+		}
+	}
+}
+
+// TestMixedVersionInterop runs one referee session where half the nodes
+// speak the batched v3 protocol and half the per-frame v1/v2 protocol:
+// the referee must serve both and land on the reference verdicts.
+func TestMixedVersionInterop(t *testing.T) {
+	nw := thresholdNetwork(t, 64, 60)
+	d := dist.NewTwoBump(64, 1.0, 9)
+	k := nw.K()
+	cfg := Config{Trials: 8, BaseSeed: 13}
+	batched := cfg
+	batched.Batch = 32
+	batched.Compress = true
+
+	l := NewPipeListener()
+	rf := NewReferee(k, nw.Rule(), cfg)
+	done := make(chan struct{})
+	var rep *Report
+	var serveErr error
+	go func() {
+		defer close(done)
+		rep, serveErr = rf.Serve(l)
+	}()
+	errCh := make(chan error, k)
+	for i := 0; i < k; i++ {
+		nodeCfg := cfg
+		if i%2 == 0 {
+			nodeCfg = batched
+		}
+		nc := &NodeClient{ID: i, K: k, Tester: nw.Node(i), Config: nodeCfg, Dial: l.Dial}
+		go func() {
+			_, err := nc.Run(d)
+			errCh <- err
+		}()
+	}
+	for i := 0; i < k; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if serveErr != nil {
+		t.Fatal(serveErr)
+	}
+	if rep.Stats.BatchFrames == 0 || rep.Stats.BatchedVotes != (k+1)/2*cfg.Trials {
+		t.Fatalf("mixed session recorded %d batch frames / %d batched votes",
+			rep.Stats.BatchFrames, rep.Stats.BatchedVotes)
+	}
+	if rep.Stats.Votes != k*cfg.Trials {
+		t.Fatalf("mixed session recorded %d votes, want %d", rep.Stats.Votes, k*cfg.Trials)
+	}
+	for tr := 0; tr < cfg.Trials; tr++ {
+		wantAccept, wantRejects := nw.RunAt(d, cfg.BaseSeed, uint64(tr), nil, nil)
+		if rep.Verdicts[tr] != wantAccept || rep.Rejects[tr] != wantRejects {
+			t.Fatalf("trial %d: (%v, %d), reference (%v, %d)", tr,
+				rep.Verdicts[tr], rep.Rejects[tr], wantAccept, wantRejects)
+		}
+	}
+}
+
+// blockingWriter blocks every write until released, simulating a peer
+// that stopped reading.
+type blockingWriter struct{ release chan struct{} }
+
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	<-w.release
+	return len(p), nil
+}
+
+func TestSendQueueDropPolicyShedsLoad(t *testing.T) {
+	reg := obs.NewRegistry()
+	w := &blockingWriter{release: make(chan struct{})}
+	q := newSendQueue(w, 2, QueueDrop, reg)
+	// The writer is stalled: the first frame is in the writer's hands, the
+	// next two fill the queue, everything after is shed.
+	for i := 0; i < 10; i++ {
+		if err := q.send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("cluster.queue_dropped").Value(); got == 0 {
+		t.Fatal("drop policy shed nothing with a stalled writer")
+	}
+	close(w.release)
+	if err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+}
+
+func TestSendQueueStickyError(t *testing.T) {
+	// A writer that fails permanently: the queue must surface the error to
+	// senders and Flush, and must never deadlock.
+	r, wend := net.Pipe()
+	r.Close() // every write now fails
+	q := newSendQueue(wend, 2, QueueBlock, nil)
+	defer q.Close()
+	var sawErr bool
+	for i := 0; i < 20; i++ {
+		if err := q.send([]byte{1, 2, 3}); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if err := q.Flush(); err == nil && !sawErr {
+		t.Fatal("dead connection surfaced no error")
+	}
+	if err := q.Flush(); err == nil {
+		t.Fatal("sticky error cleared itself")
+	}
+}
+
+func TestSendQueueFlushIsBarrier(t *testing.T) {
+	var got []byte
+	pr, pw := io.Pipe()
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		buf := make([]byte, 64)
+		for {
+			n, err := pr.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				return
+			}
+		}
+	}()
+	q := newSendQueue(pw, 4, QueueBlock, nil)
+	for i := 0; i < 9; i++ {
+		if err := q.send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	pw.Close()
+	<-readDone
+	want := []byte{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("writer delivered %v, want %v (in order, none lost)", got, want)
+	}
+}
+
+// TestBatcherRespectsFrameCaps drives the batcher with adversarially wide
+// votes and checks no emitted frame ever exceeds the wire caps.
+func TestBatcherRespectsFrameCaps(t *testing.T) {
+	var frames [][]byte
+	pr, pw := io.Pipe()
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		for {
+			buf := make([]byte, 1<<18)
+			n, err := pr.Read(buf)
+			if n > 0 {
+				frames = append(frames, buf[:n])
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	q := newSendQueue(pw, 4, QueueBlock, nil)
+	cfg := Config{Trials: 1, Batch: 4096, FlushBytes: 4096, Sketch: true, DomainN: 1}
+	bt := newBatcher(q, cfg, trace.Context{}, nil)
+	// Wide deltas defeat the delta encoding: every column entry costs ~5
+	// bytes, so the byte watermark must flush long before MaxBatchVotes.
+	for i := 0; i < 20000; i++ {
+		v := wire.BatchVote{
+			Trial: uint32(i * 2654435761), Node: uint32(i % 64),
+			Samples: uint32(i * 40503), Collisions: uint32(i),
+		}
+		if err := bt.add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bt.flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	pw.Close()
+	<-readDone
+	if len(frames) < 2 {
+		t.Fatalf("watermark never flushed: %d writes", len(frames))
+	}
+}

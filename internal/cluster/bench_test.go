@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/unifdist/unifdist/internal/wire"
+)
+
+// benchRule accepts on a reject threshold and deliberately implements no
+// EarlyDecider: every vote must be decoded, deduplicated and recorded, so
+// the benchmark measures the referee's full per-vote path rather than a
+// short-circuit.
+type benchRule struct{ thr int }
+
+func (r benchRule) Accept(rejects, k int) bool { return rejects <= r.thr }
+func (r benchRule) Name() string               { return "bench" }
+
+// benchPayload precomputes node's full wire stream — Hello, votes (one
+// frame each, or VoteBatch frames of up to batch votes), Done — so the
+// benchmark loop measures referee-side decode+apply, not client-side
+// sampling or encoding.
+func benchPayload(node, k, trials, batch int, compress bool) []byte {
+	buf := wire.AppendTraced(nil, &wire.Hello{Node: uint32(node), K: uint32(k), Trials: uint32(trials)}, wire.TraceContext{})
+	if batch <= 0 {
+		for t := 0; t < trials; t++ {
+			v := &wire.Vote{Trial: uint32(t), Node: uint32(node), Reject: (t+node)%3 == 0}
+			buf = wire.AppendTraced(buf, v, wire.TraceContext{})
+		}
+	} else {
+		var enc wire.BatchEncoder
+		var vb wire.VoteBatch
+		for t := 0; t < trials; {
+			n := batch
+			if trials-t < n {
+				n = trials - t
+			}
+			vb.Votes = vb.Votes[:0]
+			for i := 0; i < n; i++ {
+				vb.Votes = append(vb.Votes, wire.BatchVote{
+					Trial: uint32(t + i), Node: uint32(node), Reject: (t+i+node)%3 == 0,
+				})
+			}
+			out, err := enc.Append(buf, &vb, wire.TraceContext{}, compress)
+			if err != nil {
+				panic(err)
+			}
+			buf = out
+			t += n
+		}
+	}
+	return wire.AppendTraced(buf, &wire.Done{Node: uint32(node)}, wire.TraceContext{})
+}
+
+// benchSession runs b.N full referee sessions of k synthetic peers each
+// replaying its precomputed stream, and reports aggregate votes/sec —
+// the headline throughput number for the high-throughput transport.
+func benchSession(b *testing.B, k, trials int, payloads [][]byte,
+	transport func() (net.Listener, func() (net.Conn, error)), dialLimit int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l, dial := transport()
+		rf := NewReferee(k, benchRule{thr: k}, Config{Trials: trials, Deadline: time.Minute})
+		repCh := make(chan *Report, 1)
+		go func() {
+			rep, err := rf.Serve(l)
+			if err != nil {
+				b.Error(err)
+			}
+			repCh <- rep
+		}()
+		sem := make(chan struct{}, dialLimit)
+		var wg sync.WaitGroup
+		wg.Add(k)
+		for node := 0; node < k; node++ {
+			go func(p []byte) {
+				defer wg.Done()
+				sem <- struct{}{}
+				conn, err := dial()
+				<-sem
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer conn.Close()
+				if _, err := conn.Write(p); err != nil {
+					b.Error(err)
+					return
+				}
+				// Hold the connection for the verdict broadcast, like a real
+				// node: the session is not over until the referee answers.
+				if _, err := wire.NewReader(conn).ReadFrame(); err != nil {
+					b.Error(err)
+				}
+			}(payloads[node])
+		}
+		wg.Wait()
+		rep := <-repCh
+		if rep == nil || rep.Stats.Votes != k*trials {
+			b.Fatalf("session recorded %d votes, want %d", rep.Stats.Votes, k*trials)
+		}
+	}
+	b.ReportMetric(float64(k*trials)*float64(b.N)/b.Elapsed().Seconds(), "votes/sec")
+}
+
+// BenchmarkRefereePipe measures one referee on in-memory transports at
+// k = 10^4 peers: the per-frame baseline against the batched and
+// batched+compressed paths.
+func BenchmarkRefereePipe(b *testing.B) {
+	const k = 10_000
+	pipe := func() (net.Listener, func() (net.Conn, error)) {
+		l := NewPipeListener()
+		return l, l.Dial
+	}
+	cases := []struct {
+		name     string
+		trials   int
+		batch    int
+		compress bool
+	}{
+		// Fewer trials on the per-frame baseline keep the iteration time
+		// sane; votes/sec is a rate, so the comparison stands.
+		{"frame", 16, 0, false},
+		{"batch128", 128, 128, false},
+		{"batch128z", 128, 128, true},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			payloads := make([][]byte, k)
+			for node := 0; node < k; node++ {
+				payloads[node] = benchPayload(node, k, c.trials, c.batch, c.compress)
+			}
+			b.ResetTimer()
+			benchSession(b, k, c.trials, payloads, pipe, k)
+		})
+	}
+}
+
+// BenchmarkRefereeTCP is the loopback-socket variant. k stays under the
+// container's file-descriptor budget (two fds per connection), and dials
+// are throttled so the kernel accept backlog is never overrun.
+func BenchmarkRefereeTCP(b *testing.B) {
+	const k = 8192
+	tcp := func() (net.Listener, func() (net.Conn, error)) {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		addr := l.Addr().String()
+		return l, func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	cases := []struct {
+		name     string
+		trials   int
+		batch    int
+		compress bool
+	}{
+		{"frame", 16, 0, false},
+		{"batch128", 128, 128, false},
+		{"batch128z", 128, 128, true},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			payloads := make([][]byte, k)
+			for node := 0; node < k; node++ {
+				payloads[node] = benchPayload(node, k, c.trials, c.batch, c.compress)
+			}
+			b.ResetTimer()
+			benchSession(b, k, c.trials, payloads, tcp, 256)
+		})
+	}
+}

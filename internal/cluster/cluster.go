@@ -34,6 +34,7 @@ import (
 	"github.com/unifdist/unifdist/internal/dist"
 	"github.com/unifdist/unifdist/internal/obs"
 	"github.com/unifdist/unifdist/internal/obs/trace"
+	"github.com/unifdist/unifdist/internal/wire"
 	"github.com/unifdist/unifdist/internal/zeroround"
 )
 
@@ -69,6 +70,42 @@ func (p QuorumPolicy) String() string {
 
 // DefaultDeadline bounds a session when peers stall; see Config.Deadline.
 const DefaultDeadline = 10 * time.Second
+
+// QueuePolicy selects what a node's bounded send queue does when it is
+// full: apply backpressure or shed load.
+type QueuePolicy int
+
+const (
+	// QueueBlock applies backpressure: the sender waits for the writer to
+	// drain. This is the deterministic default — every computed vote is
+	// offered to the wire exactly as in the unbatched path.
+	QueueBlock QueuePolicy = iota
+	// QueueDrop sheds frames when the queue is full (counted in
+	// cluster.queue_dropped). It trades the batched/unbatched determinism
+	// guarantee for bounded latency: which frames are shed depends on
+	// writer scheduling, so verdicts may differ run-to-run exactly as they
+	// would on a saturated real link.
+	QueueDrop
+)
+
+// String returns the policy name.
+func (p QueuePolicy) String() string {
+	switch p {
+	case QueueBlock:
+		return "block"
+	case QueueDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("QueuePolicy(%d)", int(p))
+	}
+}
+
+// DefaultFlushBytes is the byte watermark at which a partially-filled
+// batch is flushed to the send queue.
+const DefaultFlushBytes = 8 << 10
+
+// DefaultQueueDepth is the per-peer send-queue bound, in frames.
+const DefaultQueueDepth = 16
 
 // Config holds the session parameters shared by the referee and every
 // node client.
@@ -108,6 +145,28 @@ type Config struct {
 	// Obs, when non-nil, receives connection/vote/fault metrics. Nil
 	// disables telemetry.
 	Obs *obs.Registry
+	// Batch, when ≥ 2, switches node clients to the high-throughput path:
+	// up to Batch votes are coalesced into each wire.VoteBatch frame
+	// (clamped to wire.MaxBatchVotes) and written through a bounded send
+	// queue. 0 or 1 keeps the one-frame-per-vote path. Batching never
+	// changes verdicts: the referee applies batched votes through the same
+	// dedup/rule/quorum pipeline, and differential tests pin batched runs
+	// trial-for-trial identical to unbatched ones.
+	Batch int
+	// Compress block-compresses batch payloads ≥ wire.MinCompressibleSize
+	// when that strictly saves wire bytes (wire.BatchEncoder). Only
+	// meaningful with Batch ≥ 2.
+	Compress bool
+	// FlushBytes is the byte watermark flushing a partially-filled batch
+	// (0 = DefaultFlushBytes). Flushes happen on watermarks and explicit
+	// protocol points only — never on a wall-clock timer — so the batched
+	// path stays deterministic.
+	FlushBytes int
+	// QueueDepth bounds each node's send queue in frames (0 =
+	// DefaultQueueDepth); QueuePolicy picks blocking backpressure or load
+	// shedding when it fills.
+	QueueDepth  int
+	QueuePolicy QueuePolicy
 	// Trace, when non-nil, emits causally-linked spans for the session
 	// (node sample → frame send → referee apply → verdict) into the
 	// tracer's journal and stamps vote frames with a wire trace context
@@ -124,6 +183,34 @@ func (c Config) deadline() time.Duration {
 		return DefaultDeadline
 	}
 	return c.Deadline
+}
+
+// batchSize resolves the effective batch size: 0 when batching is off
+// (Batch < 2), otherwise Batch clamped to the wire cap.
+func (c Config) batchSize() int {
+	if c.Batch < 2 {
+		return 0
+	}
+	if c.Batch > wire.MaxBatchVotes {
+		return wire.MaxBatchVotes
+	}
+	return c.Batch
+}
+
+// flushBytes resolves the batch flush watermark.
+func (c Config) flushBytes() int {
+	if c.FlushBytes <= 0 {
+		return DefaultFlushBytes
+	}
+	return c.FlushBytes
+}
+
+// queueDepth resolves the send-queue bound.
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return DefaultQueueDepth
+	}
+	return c.QueueDepth
 }
 
 // Report is the referee's account of one session.
@@ -179,6 +266,16 @@ type RefereeStats struct {
 	Votes          int `json:"votes"`
 	DuplicateVotes int `json:"duplicate_votes"`
 	BadFrames      int `json:"bad_frames"`
+	// BatchFrames counts VoteBatch frames received and BatchedVotes the
+	// votes they carried; BytesSaved sums the wire bytes compressed
+	// batches saved versus their raw encoding.
+	BatchFrames  int   `json:"batch_frames,omitempty"`
+	BatchedVotes int   `json:"batched_votes,omitempty"`
+	BytesSaved   int64 `json:"bytes_saved,omitempty"`
+	// IdlePeers counts nodes that had finished their stream (Done) and
+	// were idling on the verdict when the session finalized — protocol
+	// state, not wall-clock idleness.
+	IdlePeers int `json:"idle_peers,omitempty"`
 	// EarlyClosed reports the session ended because every verdict was
 	// fixed; DeadlineExpired that the safety-net deadline fired.
 	EarlyClosed     bool `json:"early_closed,omitempty"`

@@ -52,6 +52,45 @@ func linkID(node, attempt int) uint64 {
 	return uint64(node)<<16 | uint64(attempt&0xffff)
 }
 
+// faultAction is the outcome of one per-vote fault draw.
+type faultAction int
+
+const (
+	faultDeliver faultAction = iota
+	faultDrop
+	faultDup
+	faultDisconnect
+)
+
+// decide draws the fault outcome for the next vote from g, consuming
+// exactly the stream sendVote historically consumed: an optional delay
+// draw (when Delay > 0, with the sleep applied here), then one uniform
+// draw against the cumulative disconnect/drop/dup thresholds. The batched
+// and per-frame send paths both route through decide, so a (Seed, rates)
+// plan realizes the identical per-vote fault pattern regardless of how
+// votes are packed into frames.
+func (p *FaultPlan) decide(g *rng.RNG, reg *obs.Registry) faultAction {
+	if p.Delay > 0 {
+		d := time.Duration(g.Float64() * float64(p.Delay))
+		reg.Counter("cluster.faults_delayed").Inc()
+		time.Sleep(d)
+	}
+	x := g.Float64()
+	switch {
+	case x < p.Disconnect:
+		reg.Counter("cluster.faults_disconnect").Inc()
+		return faultDisconnect
+	case x < p.Disconnect+p.Drop:
+		reg.Counter("cluster.faults_dropped").Inc()
+		return faultDrop
+	case x < p.Disconnect+p.Drop+p.Dup:
+		reg.Counter("cluster.faults_dup").Inc()
+		return faultDup
+	default:
+		return faultDeliver
+	}
+}
+
 // link is one node→referee connection with the fault plan applied to its
 // vote frames. Control frames bypass injection.
 type link struct {
@@ -92,24 +131,14 @@ func (l *link) sendVote(f wire.Frame, tc wire.TraceContext) error {
 		l.sent.Inc()
 		return wire.WriteFrameTraced(l.conn, f, tc)
 	}
-	p := l.plan
-	if p.Delay > 0 {
-		d := time.Duration(l.g.Float64() * float64(p.Delay))
-		l.reg.Counter("cluster.faults_delayed").Inc()
-		time.Sleep(d)
-	}
-	x := l.g.Float64()
-	switch {
-	case x < p.Disconnect:
-		l.reg.Counter("cluster.faults_disconnect").Inc()
+	switch l.plan.decide(l.g, l.reg) {
+	case faultDisconnect:
 		l.conn.Close()
 		return wire.WriteFrameTraced(l.conn, f, tc) // surfaces the closed-link error
-	case x < p.Disconnect+p.Drop:
-		l.reg.Counter("cluster.faults_dropped").Inc()
+	case faultDrop:
 		l.dropped.Inc()
 		return nil
-	case x < p.Disconnect+p.Drop+p.Dup:
-		l.reg.Counter("cluster.faults_dup").Inc()
+	case faultDup:
 		if err := wire.WriteFrameTraced(l.conn, f, tc); err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/obs"
 	"github.com/unifdist/unifdist/internal/obs/trace"
 	"github.com/unifdist/unifdist/internal/rng"
 	"github.com/unifdist/unifdist/internal/tester"
@@ -67,7 +68,12 @@ func (nc *NodeClient) Run(d dist.Distribution) (wire.Verdict, error) {
 				backoff *= 2
 			}
 		}
-		v, err := nc.submit(frames, attempt)
+		var v wire.Verdict
+		if cfg.batchSize() > 0 {
+			v, err = nc.submitBatched(frames, attempt)
+		} else {
+			v, err = nc.submit(frames, attempt)
+		}
 		if err == nil {
 			return v, nil
 		}
@@ -162,6 +168,113 @@ func (nc *NodeClient) submit(frames []outFrame, attempt int) (wire.Verdict, erro
 	}
 	if err := lk.sendControl(&wire.Done{Node: uint32(nc.ID)}); err != nil {
 		return wire.Verdict{}, fmt.Errorf("done: %w", err)
+	}
+
+	r := wire.NewReader(conn)
+	f, err := r.ReadFrame()
+	if err != nil {
+		return wire.Verdict{}, fmt.Errorf("verdict: %w", err)
+	}
+	v, ok := f.(*wire.Verdict)
+	if !ok {
+		return wire.Verdict{}, fmt.Errorf("verdict: unexpected frame type %d", f.Type())
+	}
+	return *v, nil
+}
+
+// batchVote flattens one precomputed submission frame into its VoteBatch
+// entry. The frames were computed by computeFrames, so only Vote and
+// Sketch frames reach here.
+func batchVote(f wire.Frame) wire.BatchVote {
+	switch fr := f.(type) {
+	case *wire.Vote:
+		return wire.BatchVote{Trial: fr.Trial, Node: fr.Node, Reject: fr.Reject}
+	case *wire.Sketch:
+		return wire.BatchVote{Trial: fr.Trial, Node: fr.Node, Samples: fr.Samples, Collisions: fr.Collisions}
+	default:
+		panic(fmt.Sprintf("cluster: frame type %d is not a vote", f.Type()))
+	}
+}
+
+// submitBatched is the high-throughput variant of submit: votes coalesce
+// into VoteBatch frames behind a bounded send queue instead of one write
+// per vote. The fault plan draws the identical per-vote stream as the
+// per-frame path (FaultPlan.decide), so a faulty batched run realizes the
+// same delivered-vote multiset: drops skip the vote, dups pack it twice
+// (the referee dedups), and a disconnect first drains the pending batch —
+// mirroring the per-frame path, where earlier votes were already on the
+// wire when the link died.
+func (nc *NodeClient) submitBatched(frames []outFrame, attempt int) (wire.Verdict, error) {
+	cfg := nc.Config
+	conn, err := nc.Dial()
+	if err != nil {
+		return wire.Verdict{}, fmt.Errorf("dial: %w", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(cfg.deadline())) //unifvet:allow wallclock per-attempt I/O safety bound; votes are precomputed and unaffected
+
+	var sent, dropped *obs.Counter
+	if cfg.Obs != nil {
+		sent = cfg.Obs.Counter(fmt.Sprintf("cluster.peer.%d.sent", nc.ID))
+		dropped = cfg.Obs.Counter(fmt.Sprintf("cluster.peer.%d.dropped", nc.ID))
+	}
+	var g *rng.RNG
+	if nc.Faults.Active() {
+		g = rng.At(nc.Faults.Seed, linkID(nc.ID, attempt))
+	}
+
+	q := newSendQueue(conn, cfg.queueDepth(), cfg.QueuePolicy, cfg.Obs)
+	defer q.Close()
+	sess := trace.Context{}
+	if len(frames) > 0 {
+		sess = frames[0].parent
+	}
+	bt := newBatcher(q, cfg, sess, sent)
+
+	hello := &wire.Hello{Node: uint32(nc.ID), K: uint32(nc.K), Trials: uint32(cfg.Trials)}
+	if err := q.send(wire.AppendTraced(q.buffer(), hello, wire.TraceContext{})); err != nil {
+		return wire.Verdict{}, fmt.Errorf("hello: %w", err)
+	}
+	for _, of := range frames {
+		action := faultDeliver
+		if g != nil {
+			action = nc.Faults.decide(g, cfg.Obs)
+		}
+		switch action {
+		case faultDisconnect:
+			// Drain what the per-frame path would already have written, then
+			// kill the link so the retry path takes over.
+			bt.flush()
+			q.Flush()
+			conn.Close()
+			return wire.Verdict{}, fmt.Errorf("vote: link disconnected by fault plan")
+		case faultDrop:
+			dropped.Inc()
+			continue
+		case faultDup:
+			if err := bt.add(batchVote(of.frame)); err != nil {
+				return wire.Verdict{}, fmt.Errorf("vote: %w", err)
+			}
+			if err := bt.add(batchVote(of.frame)); err != nil {
+				return wire.Verdict{}, fmt.Errorf("vote: %w", err)
+			}
+		default:
+			if err := bt.add(batchVote(of.frame)); err != nil {
+				return wire.Verdict{}, fmt.Errorf("vote: %w", err)
+			}
+		}
+	}
+	if err := bt.flush(); err != nil {
+		return wire.Verdict{}, err
+	}
+	if err := q.send(wire.AppendTraced(q.buffer(), &wire.Done{Node: uint32(nc.ID)}, wire.TraceContext{})); err != nil {
+		return wire.Verdict{}, fmt.Errorf("done: %w", err)
+	}
+	// Graceful drain: every queued frame must reach the kernel before we
+	// block on the verdict, and before EarlyClose can tear the session down
+	// under us with votes still buffered.
+	if err := q.Flush(); err != nil {
+		return wire.Verdict{}, fmt.Errorf("drain: %w", err)
 	}
 
 	r := wire.NewReader(conn)

@@ -33,6 +33,7 @@ type Referee struct {
 	early zeroround.EarlyDecider
 	cfg   Config
 	reg   *obs.Registry
+	m     refereeMetrics
 
 	mu        sync.Mutex
 	voted     []uint64 // (trial, node) bitset, k*trials bits
@@ -51,6 +52,20 @@ type Referee struct {
 
 	trigger   chan struct{}
 	triggerMu sync.Once
+}
+
+// refereeMetrics caches the hot-path counters so the per-vote path costs
+// one atomic add instead of a registry map lookup per event. All fields
+// no-op when telemetry is off (nil-registry metrics are nil no-ops).
+type refereeMetrics struct {
+	votes      *obs.Counter
+	votesDup   *obs.Counter
+	badFrames  *obs.Counter
+	frames     *obs.Counter
+	batchSaved *obs.Counter // cluster.batch_bytes_saved
+	batchFill  *obs.Histogram
+	dedup      *obs.Gauge
+	peersIdle  *obs.Gauge // cluster.peers_idle: nodes that sent Done
 }
 
 // NewReferee builds a referee for a k-node network deciding with rule.
@@ -73,6 +88,16 @@ func NewReferee(k int, rule zeroround.Rule, cfg Config) *Referee {
 	}
 	if ed, ok := rule.(zeroround.EarlyDecider); ok {
 		rf.early = ed
+	}
+	rf.m = refereeMetrics{
+		votes:      rf.reg.Counter("cluster.votes"),
+		votesDup:   rf.reg.Counter("cluster.votes_dup"),
+		badFrames:  rf.reg.Counter("cluster.bad_frames"),
+		frames:     rf.reg.Counter("cluster.frames"),
+		batchSaved: rf.reg.Counter("cluster.batch_bytes_saved"),
+		batchFill:  rf.reg.Histogram("cluster.batch_fill", obs.BytesBuckets()),
+		dedup:      rf.reg.Gauge("cluster.dedup_occupancy"),
+		peersIdle:  rf.reg.Gauge("cluster.peers_idle"),
 	}
 	return rf
 }
@@ -148,6 +173,7 @@ func (rf *Referee) Serve(l net.Listener) (*Report, error) {
 		c.Close()
 	}
 	wg.Wait()
+	rf.m.peersIdle.Set(0) // the broadcast released every idle peer
 
 	if rf.cfg.Policy == QuorumStrict && rep.MissingVotes > 0 {
 		return rep, fmt.Errorf("cluster: strict quorum: %d votes missing across %d trials", rep.MissingVotes, rep.QuorumTrials)
@@ -166,15 +192,18 @@ func (rf *Referee) handle(conn net.Conn, end time.Time) {
 	// Per-frame-type decode and apply latency histograms, resolved once per
 	// connection; nil (and never timed) when telemetry is off, so the hot
 	// path pays no clock reads by default.
-	var decodeNS, applyNS [wire.TypeVerdict + 1]*obs.Histogram
+	var decodeNS, applyNS [wire.TypeVoteBatchZ + 1]*obs.Histogram
 	if rf.reg != nil {
-		for t := wire.TypeHello; t <= wire.TypeVerdict; t++ {
+		for t := wire.TypeHello; t <= wire.TypeVoteBatchZ; t++ {
 			name := wire.TypeName(t)
 			decodeNS[t] = rf.reg.Histogram("cluster.decode_ns."+name, obs.LatencyBuckets())
 			applyNS[t] = rf.reg.Histogram("cluster.apply_ns."+name, obs.LatencyBuckets())
 		}
 	}
 	var peerRecv *obs.Counter // resolved after Hello identifies the peer
+	// Per-connection decode scratch: steady-state vote and batch decoding
+	// reuses these buffers, so the hot loop does not allocate per frame.
+	var sc wire.DecodeScratch
 	for {
 		body, err := r.ReadBody()
 		if err != nil {
@@ -189,7 +218,7 @@ func (rf *Referee) handle(conn net.Conn, end time.Time) {
 		if rf.reg != nil {
 			t0 = time.Now() //unifvet:allow wallclock latency histogram sample; enabled only with telemetry, never read by decisions
 		}
-		f, tc, err := wire.DecodeBody(body)
+		f, tc, err := wire.DecodeBodyScratch(body, &sc)
 		if err != nil {
 			// Codec error: count it and end the transport, as before the
 			// read/decode split.
@@ -197,17 +226,25 @@ func (rf *Referee) handle(conn net.Conn, end time.Time) {
 			return
 		}
 		ft := f.Type()
+		// A compressed batch decodes to the same VoteBatch frame; attribute
+		// its latency samples to the votebatchz series.
+		if vb, ok := f.(*wire.VoteBatch); ok && vb.Compressed {
+			ft = wire.TypeVoteBatchZ
+		}
 		if rf.reg != nil && int(ft) < len(decodeNS) {
 			decodeNS[ft].Observe(int64(time.Since(t0))) //unifvet:allow wallclock latency histogram sample; enabled only with telemetry, never read by decisions
 			t0 = time.Now()                             //unifvet:allow wallclock latency histogram sample; enabled only with telemetry, never read by decisions
 		}
-		n := wire.EncodedSizeTraced(f, tc)
+		// Wire bytes as received: the frame body plus the length prefix.
+		// (EncodedSizeTraced would re-encode raw and misreport compressed
+		// batches.)
+		n := len(body) + 4
 		frameBytes.Observe(int64(n))
 		rf.mu.Lock()
 		rf.stats.Frames++
 		rf.stats.Bytes += int64(n)
 		rf.mu.Unlock()
-		rf.reg.Counter("cluster.frames").Inc()
+		rf.m.frames.Inc()
 		peerRecv.Inc()
 
 		switch m := f.(type) {
@@ -236,6 +273,25 @@ func (rf *Referee) handle(conn net.Conn, end time.Time) {
 			// Single-collision vote derived server-side: reject iff the
 			// node saw any colliding pair.
 			rf.apply(int(m.Trial), node, m.Collisions > 0, tc)
+		case *wire.VoteBatch:
+			if node < 0 {
+				rf.countBadFrame()
+				continue
+			}
+			ok := true
+			for i := range m.Votes {
+				if int(m.Votes[i].Node) != node {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				// A batch smuggling another node's votes is rejected whole,
+				// like a mismatched single-vote frame.
+				rf.countBadFrame()
+				continue
+			}
+			rf.applyBatch(m, node, tc)
 		case *wire.Done:
 			if node < 0 || int(m.Node) != node {
 				rf.countBadFrame()
@@ -272,6 +328,50 @@ func (rf *Referee) apply(trial, node int, reject bool, tc wire.TraceContext) {
 	sp.End()
 }
 
+// applyBatch records a whole VoteBatch under one mutex acquisition: the
+// incremental rule, dedup bitset and quorum bookkeeping see the batch as
+// the same sequence of per-vote record calls the unbatched path makes,
+// just without k lock round-trips. When tracing is on, the batch gets an
+// apply span parented on the frame's wire context, and each vote a
+// derived child span — so a batched trace keeps per-vote granularity.
+func (rf *Referee) applyBatch(b *wire.VoteBatch, node int, tc wire.TraceContext) {
+	var sp *trace.Span
+	ctx := trace.Context{Trace: trace.ID(tc.Trace), Span: trace.ID(tc.Span)}
+	if rf.cfg.Trace.Enabled() {
+		sp = rf.cfg.Trace.Start("referee.applybatch", ctx,
+			trace.A("node", node), trace.A("votes", len(b.Votes)),
+			trace.A("compressed", b.Compressed))
+		ctx = sp.Context()
+	}
+	rf.mu.Lock()
+	if !rf.closed {
+		rf.stats.BatchFrames++
+		rf.stats.BatchedVotes += len(b.Votes)
+		rf.stats.BytesSaved += int64(b.Saved)
+		for i := range b.Votes {
+			v := &b.Votes[i]
+			reject := v.Reject
+			if b.Sketch {
+				reject = v.Collisions > 0
+			}
+			rf.recordLocked(int(v.Trial), node, reject)
+		}
+	}
+	rf.mu.Unlock()
+	rf.m.batchFill.Observe(int64(len(b.Votes)))
+	rf.m.batchSaved.Add(int64(b.Saved))
+	if sp != nil {
+		for i := range b.Votes {
+			v := &b.Votes[i]
+			vsp := rf.cfg.Trace.StartID("referee.apply",
+				trace.Derive("referee.apply", uint64(ctx.Trace), uint64(v.Trial), uint64(node)),
+				ctx, trace.A("trial", int(v.Trial)), trace.A("node", node))
+			vsp.End()
+		}
+		sp.End()
+	}
+}
+
 // record registers one deduplicated vote and advances the trial's
 // incremental decision.
 func (rf *Referee) record(trial, node int, reject bool) {
@@ -280,15 +380,21 @@ func (rf *Referee) record(trial, node int, reject bool) {
 	if rf.closed {
 		return
 	}
+	rf.recordLocked(trial, node, reject)
+}
+
+// recordLocked is record's body; callers hold rf.mu and have checked
+// rf.closed.
+func (rf *Referee) recordLocked(trial, node int, reject bool) {
 	if trial < 0 || trial >= rf.cfg.Trials {
 		rf.stats.BadFrames++
-		rf.reg.Counter("cluster.bad_frames").Inc()
+		rf.m.badFrames.Inc()
 		return
 	}
 	idx := trial*rf.k + node
 	if rf.voted[idx/64]&(1<<(idx%64)) != 0 {
 		rf.stats.DuplicateVotes++
-		rf.reg.Counter("cluster.votes_dup").Inc()
+		rf.m.votesDup.Inc()
 		return
 	}
 	rf.voted[idx/64] |= 1 << (idx % 64)
@@ -297,10 +403,10 @@ func (rf *Referee) record(trial, node int, reject bool) {
 		rf.rejects[trial]++
 	}
 	rf.stats.Votes++
-	rf.reg.Counter("cluster.votes").Inc()
+	rf.m.votes.Inc()
 	// Fraction of the (trial, node) dedup bitset that is set — a live
 	// progress probe for the export server.
-	rf.reg.Gauge("cluster.dedup_occupancy").Set(float64(rf.stats.Votes) / float64(rf.k*rf.cfg.Trials))
+	rf.m.dedup.Set(float64(rf.stats.Votes) / float64(rf.k*rf.cfg.Trials))
 
 	if rf.decided[trial] {
 		return
@@ -337,6 +443,9 @@ func (rf *Referee) markDone(node int) {
 	}
 	rf.nodeDone[node] = true
 	rf.doneCount++
+	// Idle-peer accounting: a node that sent Done holds its connection
+	// open only for the verdict broadcast.
+	rf.m.peersIdle.Add(1)
 	if rf.doneCount == rf.k {
 		rf.fire()
 	}
@@ -390,6 +499,7 @@ func (rf *Referee) finalize() (*Report, wire.Verdict, []net.Conn) {
 			rep.Accepts++
 		}
 	}
+	rf.stats.IdlePeers = rf.doneCount
 	rep.Stats = rf.stats
 	rf.reg.Counter("cluster.votes_missing").Add(int64(rep.MissingVotes))
 

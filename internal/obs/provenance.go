@@ -29,13 +29,17 @@ type Provenance struct {
 	PID      int    `json:"pid"`
 	// Workers is the requested worker-pool bound (0 = GOMAXPROCS); results
 	// are worker-count-invariant, so this explains timings, not numbers.
-	Workers int `json:"workers,omitempty"`
-	GitRev     string   `json:"git_rev,omitempty"`
-	GitDirty   bool     `json:"git_dirty,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+	GitRev   string `json:"git_rev,omitempty"`
+	GitDirty bool   `json:"git_dirty,omitempty"`
 	// Start is the run's wall-clock start in RFC3339; WallMS the total
 	// duration, filled in by the caller when the run finishes.
 	Start  string  `json:"start"`
 	WallMS float64 `json:"wall_ms,omitempty"`
+	// Extra carries tool-specific knobs that change the transport or
+	// encoding but not the verdicts (batch size, compression, queue
+	// policy) — recorded so a run document says how its bytes moved.
+	Extra map[string]string `json:"extra,omitempty"`
 }
 
 // CollectProvenance fills a Provenance from the running binary and host.

@@ -100,7 +100,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 			if err == nil || err == io.EOF {
 				return
 			}
-			for _, known := range []error{ErrTruncated, ErrOversize, ErrVersion, ErrUnknownType, ErrFrameSize, ErrTraceContext} {
+			for _, known := range []error{ErrTruncated, ErrOversize, ErrVersion, ErrUnknownType, ErrFrameSize, ErrTraceContext, ErrCompression} {
 				if errors.Is(err, known) {
 					return
 				}
@@ -114,8 +114,21 @@ func FuzzWireRoundTrip(f *testing.F) {
 			}
 			// Whatever decoded must re-encode to the exact consumed bytes:
 			// the codec is canonical (untraced frames are always v1, traced
-			// frames always v2 with a nonzero trace ID).
-			if re := AppendTraced(nil, fr, ftc); !bytes.Equal(re, raw[:n]) {
+			// frames always v2 with a nonzero trace ID, raw batches always
+			// bijective v3). The one exception is a compressed batch — any
+			// valid compressor output is accepted, so equality there is
+			// semantic: re-encode raw, decode, same votes.
+			if vb, ok := fr.(*VoteBatch); ok && vb.Compressed {
+				re := AppendTraced(nil, vb, ftc)
+				f2, tc2, _, err := DecodeTraced(re)
+				if err != nil || tc2 != ftc {
+					t.Fatalf("compressed batch re-encode decode: %v", err)
+				}
+				vb2 := f2.(*VoteBatch)
+				if vb2.Sketch != vb.Sketch || !reflect.DeepEqual(vb2.Votes, vb.Votes) {
+					t.Fatal("compressed batch re-encode lost votes")
+				}
+			} else if re := AppendTraced(nil, fr, ftc); !bytes.Equal(re, raw[:n]) {
 				t.Fatalf("re-encode mismatch: %x vs %x", re, raw[:n])
 			}
 		} else {
@@ -128,6 +141,146 @@ func FuzzWireRoundTrip(f *testing.F) {
 				checkErr(err)
 				break
 			}
+		}
+	})
+}
+
+// FuzzVoteBatchRoundTrip drives the batch codec from both ends: fuzzed
+// batches (typical and adversarial shapes, raw and compressed, traced and
+// untraced) must round-trip losslessly with decode→re-encode byte equality
+// for raw frames; fuzzed raw bytes framed as batch payloads must decode or
+// fail with typed errors — never panic — with the count and size caps
+// enforced.
+func FuzzVoteBatchRoundTrip(f *testing.F) {
+	f.Add(uint16(1), uint32(0), uint64(0), false, false, []byte{})
+	f.Add(uint16(100), uint32(42), uint64(7), false, true, []byte{0, 1, 2})
+	f.Add(uint16(64), uint32(3), uint64(9), true, true, Append(nil, &VoteBatch{Votes: []BatchVote{{Trial: 1, Node: 2}}})[4:])
+	f.Add(uint16(4096), uint32(1999), uint64(3), false, false, []byte{1, 1, 0, 0})
+	f.Fuzz(func(t *testing.T, count uint16, node uint32, seed uint64, sketch, compress bool, raw []byte) {
+		n := int(count)%MaxBatchVotes + 1
+		b := &VoteBatch{Sketch: sketch}
+		if seed%2 == 0 {
+			// Typical shape: one node, trials in order.
+			for i := 0; i < n; i++ {
+				v := BatchVote{Trial: uint32(i), Node: node}
+				if sketch {
+					v.Samples, v.Collisions = 48, uint32(i%2)
+				} else {
+					v.Reject = (uint64(i)+seed)%3 == 0
+				}
+				b.Votes = append(b.Votes, v)
+			}
+		} else {
+			b.Votes = advVotes(seed, n, sketch)
+		}
+		tc := TraceContext{Trace: seed | 1, Span: seed >> 1}
+		for _, ctx := range []TraceContext{{}, tc} {
+			enc, err := AppendBatch(nil, b, ctx, compress)
+			if err != nil {
+				t.Fatalf("encode %d votes: %v", n, err)
+			}
+			if len(enc)-4 > MaxBatchFrameBytes {
+				t.Fatalf("batch frame body %d bytes exceeds cap", len(enc)-4)
+			}
+			got, gotTC, consumed, err := DecodeTraced(enc)
+			if err != nil {
+				t.Fatalf("decode own encoding: %v", err)
+			}
+			vb := got.(*VoteBatch)
+			if consumed != len(enc) || gotTC != ctx || vb.Sketch != b.Sketch || !reflect.DeepEqual(vb.Votes, b.Votes) {
+				t.Fatal("batch round trip mismatch")
+			}
+			if !vb.Compressed {
+				// Raw batches are bijective.
+				if re := AppendTraced(nil, vb, ctx); !bytes.Equal(re, enc) {
+					t.Fatalf("raw batch re-encode mismatch: %x vs %x", re, enc)
+				}
+			} else if vb.Saved <= 0 {
+				t.Fatalf("compressed batch with Saved = %d", vb.Saved)
+			}
+		}
+		// Cap enforcement survives fuzzing.
+		over := &VoteBatch{Votes: make([]BatchVote, MaxBatchVotes+1)}
+		if _, err := AppendBatch(nil, over, TraceContext{}, compress); !errors.Is(err, ErrOversize) {
+			t.Fatalf("oversize batch: err = %v", err)
+		}
+
+		// Adversarial path: raw bytes framed as each batch type must decode
+		// (then re-encode canonically, checked by the main fuzz target's
+		// logic) or fail typed.
+		var sc DecodeScratch
+		for _, typ := range []byte{TypeVoteBatch, TypeVoteBatchZ, TypeVoteBatch | 0x80} {
+			body := append([]byte{BatchVersion, typ}, raw...)
+			if len(body) > MaxBatchFrameBytes {
+				body = body[:MaxBatchFrameBytes]
+			}
+			fr, _, err := DecodeBodyScratch(body, &sc)
+			if err == nil {
+				vb := fr.(*VoteBatch)
+				if len(vb.Votes) == 0 || len(vb.Votes) > MaxBatchVotes {
+					t.Fatalf("decoded batch with %d votes", len(vb.Votes))
+				}
+				if typ == TypeVoteBatch {
+					// Untraced raw batches are bijective: the decoded batch
+					// re-encodes to the exact bytes that decoded.
+					re := AppendTraced(nil, vb, TraceContext{})
+					if !bytes.Equal(re[4:], body) {
+						t.Fatalf("adversarial raw batch not canonical")
+					}
+				}
+				continue
+			}
+			for _, known := range []error{ErrTruncated, ErrOversize, ErrVersion, ErrUnknownType, ErrFrameSize, ErrTraceContext, ErrCompression} {
+				if errors.Is(err, known) {
+					err = nil
+					break
+				}
+			}
+			if err != nil {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzCompressRoundTrip pins the compressor's contract on arbitrary
+// blocks: compression is deterministic, only reported when it strictly
+// shrinks the input (incompressible and sub-threshold blocks return nil),
+// and always inverts exactly; the decompressor never panics and never
+// exceeds its output cap on arbitrary input.
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0}, 100))
+	f.Add(bytes.Repeat([]byte("abc"), 50))
+	f.Add(goldenBatchPayload())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4*MaxBatchFrameBytes {
+			data = data[:4*MaxBatchFrameBytes]
+		}
+		comp := CompressBlock(data, nil)
+		if comp != nil {
+			if len(comp) >= len(data) {
+				t.Fatalf("compressed %d ≥ raw %d", len(comp), len(data))
+			}
+			out, err := DecompressBlock(comp, nil, len(data))
+			if err != nil || !bytes.Equal(out, data) {
+				t.Fatalf("round trip failed: %v", err)
+			}
+			// Determinism: a second pass is byte-identical.
+			if !bytes.Equal(CompressBlock(data, nil), comp) {
+				t.Fatal("compressor is nondeterministic")
+			}
+		}
+		// The input itself treated as a compressed block: bounded, typed,
+		// panic-free.
+		out, err := DecompressBlock(data, nil, 1<<12)
+		if err == nil {
+			if len(out) > 1<<12 {
+				t.Fatalf("output %d exceeds cap", len(out))
+			}
+		} else if !errors.Is(err, ErrCompression) {
+			t.Fatalf("unexpected error class: %v", err)
 		}
 	})
 }

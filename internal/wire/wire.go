@@ -9,22 +9,29 @@
 //	[4-byte big-endian frame length][1-byte version][1-byte type][payload]
 //
 // where the length counts the version, type and payload bytes (not the
-// prefix itself). Two versions are in play: version 1 frames carry the bare
-// payload, and version 2 frames append a 16-byte trace context (trace ID +
+// prefix itself). Three versions are in play: version 1 frames carry the
+// bare payload; version 2 frames append a 16-byte trace context (trace ID +
 // span ID, both big-endian uint64, trace ID nonzero) that links the frame
-// into the telemetry plane's distributed trace. The encoder stamps version
-// 1 whenever no trace context is attached — untraced traffic is
-// byte-identical to the pre-trace protocol, so version-1-only decoders keep
-// accepting it — and the decoder accepts both versions, rejecting anything
-// newer with ErrVersion. Trace context is observability metadata only: the
-// referee's verdicts never depend on it.
+// into the telemetry plane's distributed trace; version 3 frames carry the
+// batch types (VoteBatch, and its compressed form) whose type byte's high
+// bit flags an optional trace-context suffix. The encoder stamps the lowest
+// version that can represent a frame — untraced single-vote traffic is
+// byte-identical to the pre-trace protocol, traced single-vote traffic is
+// byte-identical to v2 — and the decoder accepts all three, rejecting
+// anything newer with ErrVersion. Each frame has exactly one valid version
+// (batch types only at v3, everything else at v1/v2), so every message
+// keeps a single canonical byte representation. Trace context is
+// observability metadata only: the referee's verdicts never depend on it.
 //
-// Frames are tiny and fixed-size per type; the decoder enforces both the
-// per-type payload size and a global MaxFrameBytes cap before reading a
-// body, mirroring the simulator's CONGEST bandwidth check
+// Single-vote frames are tiny and fixed-size per type; the decoder
+// enforces both the per-type payload size and the MaxFrameBytes cap before
+// reading a body, mirroring the simulator's CONGEST bandwidth check
 // (simnet.ErrBandwidthExceeded): a peer cannot make the referee allocate or
 // buffer unbounded memory by lying in the length prefix, and an oversized
-// frame is a protocol error, not a crash.
+// frame is a protocol error, not a crash. Batch frames amortize framing
+// across up to MaxBatchVotes tuples and get their own, larger cap
+// (MaxBatchFrameBytes) — a typed per-frame-type limit, not a raising of the
+// CONGEST-mirror cap, which keeps applying to every single-vote type.
 //
 // Decoding never panics on adversarial input: truncated, oversized,
 // wrong-version, unknown-type, mis-sized and bad-trace-context frames all
@@ -40,22 +47,49 @@ import (
 	"io"
 )
 
-// Version is the current protocol version: version-2 frames carry a
-// trailing TraceContext. The encoder only stamps it on traced frames;
-// untraced frames encode at MinVersion so pre-trace decoders still accept
-// them.
-const Version = 2
+// Version is the current protocol version: version-3 frames carry the
+// batch types. The encoder stamps each frame at the lowest version that
+// can represent it (see TraceVersion), so old frame types never encode at
+// v3 and old decoders keep accepting untraced/traced single-vote traffic.
+const Version = 3
+
+// BatchVersion is the version byte of batch frames (VoteBatch and its
+// compressed form). Batch types are only legal at this version.
+const BatchVersion = 3
+
+// TraceVersion is the version stamped on traced single-vote frames: the
+// payload followed by a 16-byte TraceContext suffix. Untraced single-vote
+// frames encode at MinVersion so pre-trace decoders still accept them.
+const TraceVersion = 2
 
 // MinVersion is the oldest protocol version the decoder accepts: the
 // trace-free framing of the original cluster runtime.
 const MinVersion = 1
 
 // MaxFrameBytes caps the on-wire frame length (version + type + payload +
-// optional trace context). All defined frames are ≤ 34 bytes; the cap
-// leaves headroom for future frame types while keeping the referee's
-// per-connection buffer trivially bounded — the cluster analogue of the
-// CONGEST per-edge bandwidth limit.
+// optional trace context) of every single-vote frame type. All defined
+// single-vote frames are ≤ 34 bytes; the cap leaves headroom while keeping
+// the referee's per-connection buffer trivially bounded — the cluster
+// analogue of the CONGEST per-edge bandwidth limit. Batch types have their
+// own cap (MaxBatchFrameBytes); FrameCap resolves the bound per type.
 const MaxFrameBytes = 64
+
+// MaxBatchFrameBytes caps the on-wire length of a batch frame. It bounds
+// MaxBatchVotes worst-case-encoded tuples (≤ 21 bytes each in sketch mode)
+// with room for the trace suffix, while still keeping per-connection
+// buffering small enough that 10⁴+ concurrent peers fit in memory.
+const MaxBatchFrameBytes = 1 << 17
+
+// FrameCap returns the on-wire frame-length cap (excluding the 4-byte
+// prefix) for a frame type byte: MaxBatchFrameBytes for batch types,
+// MaxFrameBytes for everything else (including unknown types, which are
+// rejected before the cap matters).
+func FrameCap(t byte) int {
+	if t == TypeVoteBatch || t == TypeVoteBatchZ {
+		return MaxBatchFrameBytes
+	}
+	return MaxFrameBytes
+}
 
 // headerBytes is the length prefix size.
 const headerBytes = 4
@@ -90,7 +124,18 @@ const (
 	TypeDone
 	// TypeVerdict is the referee's closing summary to each node.
 	TypeVerdict
+	// TypeVoteBatch packs many (trial, node, vote) tuples — or sketch
+	// tuples — into one delta/bit-packed frame (batch.go).
+	TypeVoteBatch
+	// TypeVoteBatchZ is a VoteBatch whose payload is block-compressed
+	// (compress.go); only emitted when compression actually saves bytes.
+	TypeVoteBatchZ
 )
+
+// traceFlag is the high bit of a BatchVersion frame's type byte: set when
+// a 16-byte TraceContext suffix follows the payload. Single-vote versions
+// signal tracing through the version byte instead.
+const traceFlag = 0x80
 
 // TypeName returns a short lowercase name for a frame type byte, for
 // metric and span labels ("hello", "vote", ...; "type<N>" when unknown).
@@ -106,6 +151,10 @@ func TypeName(t byte) string {
 		return "done"
 	case TypeVerdict:
 		return "verdict"
+	case TypeVoteBatch:
+		return "votebatch"
+	case TypeVoteBatchZ:
+		return "votebatchz"
 	default:
 		return fmt.Sprintf("type%d", t)
 	}
@@ -119,13 +168,15 @@ var (
 	ErrTruncated = errors.New("wire: truncated frame")
 	// ErrOversize marks a length prefix beyond MaxFrameBytes.
 	ErrOversize = errors.New("wire: frame exceeds size limit")
-	// ErrVersion marks a version byte other than Version.
+	// ErrVersion marks a version byte outside MinVersion..Version, or a
+	// frame type encoded at a version that is not its canonical one.
 	ErrVersion = errors.New("wire: unsupported protocol version")
 	// ErrUnknownType marks an unrecognized frame type byte.
 	ErrUnknownType = errors.New("wire: unknown frame type")
-	// ErrFrameSize marks a known frame type with the wrong payload size.
+	// ErrFrameSize marks a known frame type with a malformed payload
+	// (wrong size, or a non-canonical batch encoding).
 	ErrFrameSize = errors.New("wire: wrong payload size for frame type")
-	// ErrTraceContext marks a version-2 frame whose trace context is
+	// ErrTraceContext marks a traced frame whose trace context is
 	// malformed (zero trace ID).
 	ErrTraceContext = errors.New("wire: invalid trace context")
 )
@@ -290,8 +341,14 @@ func Append(dst []byte, f Frame) []byte {
 
 // AppendTraced appends f's wire encoding carrying tc. A context with a zero
 // trace ID is treated as absent and encodes exactly like Append; a nonzero
-// one stamps the frame at Version with the 16-byte suffix.
+// one adds the 16-byte suffix — stamping single-vote frames at TraceVersion
+// and setting the trace flag on batch frames (which are always stamped
+// BatchVersion). Batch frames encode their raw (uncompressed) form here;
+// use a BatchEncoder to opportunistically compress.
 func AppendTraced(dst []byte, f Frame, tc TraceContext) []byte {
+	if t := f.Type(); t == TypeVoteBatch || t == TypeVoteBatchZ {
+		return appendBatchFrame(dst, t, f.payloadSize(), f.appendPayload, tc)
+	}
 	if tc.IsZero() {
 		n := 2 + f.payloadSize() // version + type + payload
 		dst = binary.BigEndian.AppendUint32(dst, uint32(n))
@@ -300,10 +357,30 @@ func AppendTraced(dst []byte, f Frame, tc TraceContext) []byte {
 	}
 	n := 2 + f.payloadSize() + traceContextBytes
 	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
-	dst = append(dst, Version, f.Type())
+	dst = append(dst, TraceVersion, f.Type())
 	dst = f.appendPayload(dst)
 	dst = binary.BigEndian.AppendUint64(dst, tc.Trace)
 	return binary.BigEndian.AppendUint64(dst, tc.Span)
+}
+
+// appendBatchFrame writes a BatchVersion frame: the payload producer is a
+// callback so both raw VoteBatch encoding and pre-compressed payloads share
+// the header/suffix logic.
+func appendBatchFrame(dst []byte, typ byte, size int, payload func([]byte) []byte, tc TraceContext) []byte {
+	n := 2 + size
+	t := typ
+	if !tc.IsZero() {
+		n += traceContextBytes
+		t |= traceFlag
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
+	dst = append(dst, BatchVersion, t)
+	dst = payload(dst)
+	if !tc.IsZero() {
+		dst = binary.BigEndian.AppendUint64(dst, tc.Trace)
+		dst = binary.BigEndian.AppendUint64(dst, tc.Span)
+	}
+	return dst
 }
 
 // EncodedSize returns the full untraced on-wire size of f including the
@@ -335,8 +412,8 @@ func DecodeTraced(b []byte) (Frame, TraceContext, int, error) {
 		return nil, TraceContext{}, 0, fmt.Errorf("%w: %d header bytes", ErrTruncated, len(b))
 	}
 	n := binary.BigEndian.Uint32(b)
-	if n > MaxFrameBytes {
-		return nil, TraceContext{}, 0, fmt.Errorf("%w: declared %d bytes (limit %d)", ErrOversize, n, MaxFrameBytes)
+	if n > MaxBatchFrameBytes {
+		return nil, TraceContext{}, 0, fmt.Errorf("%w: declared %d bytes (limit %d)", ErrOversize, n, MaxBatchFrameBytes)
 	}
 	if n < 2 {
 		return nil, TraceContext{}, 0, fmt.Errorf("%w: declared %d bytes, need ≥ 2", ErrFrameSize, n)
@@ -345,38 +422,83 @@ func DecodeTraced(b []byte) (Frame, TraceContext, int, error) {
 	if len(b) < total {
 		return nil, TraceContext{}, 0, fmt.Errorf("%w: have %d of %d bytes", ErrTruncated, len(b), total)
 	}
-	f, tc, err := decodeBody(b[headerBytes:total])
+	f, tc, err := decodeBody(b[headerBytes:total], nil)
 	if err != nil {
 		return nil, TraceContext{}, 0, err
 	}
 	return f, tc, total, nil
 }
 
+// DecodeScratch holds reusable frame values and buffers so a steady-state
+// decode loop allocates nothing. Frames returned from a scratch-backed
+// decode are only valid until the next decode with the same scratch; each
+// connection handler owns its own scratch.
+type DecodeScratch struct {
+	hello   Hello
+	vote    Vote
+	sketch  Sketch
+	done    Done
+	verdict Verdict
+	batch   VoteBatch
+	// zbuf holds a decompressed batch payload between decodes.
+	zbuf []byte
+}
+
 // decodeBody parses version, type, payload and optional trace context from
-// a complete frame body.
-func decodeBody(body []byte) (Frame, TraceContext, error) {
+// a complete frame body. With a non-nil scratch the returned frame aliases
+// scratch storage instead of allocating.
+func decodeBody(body []byte, sc *DecodeScratch) (Frame, TraceContext, error) {
 	v := body[0]
 	if v < MinVersion || v > Version {
 		return nil, TraceContext{}, fmt.Errorf("%w: got %d, want %d..%d", ErrVersion, v, MinVersion, Version)
 	}
+	if v == BatchVersion {
+		return decodeBatchBody(body, sc)
+	}
+	// The scratch-held values avoid a per-frame allocation on the referee's
+	// hot decode loop; decodePayload writes every field (all payloads are
+	// fixed-shape), so no reset between reuses is needed.
 	var f Frame
 	switch t := body[1]; t {
 	case TypeHello:
-		f = &Hello{}
+		if sc != nil {
+			f = &sc.hello
+		} else {
+			f = &Hello{}
+		}
 	case TypeVote:
-		f = &Vote{}
+		if sc != nil {
+			f = &sc.vote
+		} else {
+			f = &Vote{}
+		}
 	case TypeSketch:
-		f = &Sketch{}
+		if sc != nil {
+			f = &sc.sketch
+		} else {
+			f = &Sketch{}
+		}
 	case TypeDone:
-		f = &Done{}
+		if sc != nil {
+			f = &sc.done
+		} else {
+			f = &Done{}
+		}
 	case TypeVerdict:
-		f = &Verdict{}
+		if sc != nil {
+			f = &sc.verdict
+		} else {
+			f = &Verdict{}
+		}
+	case TypeVoteBatch, TypeVoteBatchZ:
+		return nil, TraceContext{}, fmt.Errorf("%w: batch type %d requires v%d, got v%d",
+			ErrVersion, t, BatchVersion, v)
 	default:
 		return nil, TraceContext{}, fmt.Errorf("%w: type %d", ErrUnknownType, t)
 	}
 	payload := body[2:]
 	var tc TraceContext
-	if v >= Version {
+	if v >= TraceVersion {
 		// Version 2 requires the trace-context suffix.
 		want := f.payloadSize() + traceContextBytes
 		if len(payload) != want {
@@ -400,6 +522,62 @@ func decodeBody(body []byte) (Frame, TraceContext, error) {
 	return f, tc, nil
 }
 
+// decodeBatchBody parses a BatchVersion frame body: trace flag in the type
+// byte, batch payload (optionally compressed), optional trace suffix.
+func decodeBatchBody(body []byte, sc *DecodeScratch) (Frame, TraceContext, error) {
+	t := body[1]
+	base := t &^ traceFlag
+	if base != TypeVoteBatch && base != TypeVoteBatchZ {
+		if base == TypeHello || base == TypeVote || base == TypeSketch || base == TypeDone || base == TypeVerdict {
+			// Old types have exactly one valid version; re-encoding them at
+			// v3 would break the canonical-bytes invariant.
+			return nil, TraceContext{}, fmt.Errorf("%w: type %d not valid at v%d", ErrVersion, base, BatchVersion)
+		}
+		return nil, TraceContext{}, fmt.Errorf("%w: type %d", ErrUnknownType, base)
+	}
+	if len(body) > FrameCap(base) {
+		return nil, TraceContext{}, fmt.Errorf("%w: %d-byte %s frame (limit %d)",
+			ErrOversize, len(body), TypeName(base), FrameCap(base))
+	}
+	payload := body[2:]
+	var tc TraceContext
+	if t&traceFlag != 0 {
+		if len(payload) < traceContextBytes {
+			return nil, TraceContext{}, fmt.Errorf("%w: traced %s frame with %d-byte body",
+				ErrFrameSize, TypeName(base), len(body))
+		}
+		tail := payload[len(payload)-traceContextBytes:]
+		tc.Trace = binary.BigEndian.Uint64(tail[:8])
+		tc.Span = binary.BigEndian.Uint64(tail[8:])
+		if tc.Trace == 0 {
+			return nil, TraceContext{}, fmt.Errorf("%w: zero trace ID on a v%d frame", ErrTraceContext, BatchVersion)
+		}
+		payload = payload[:len(payload)-traceContextBytes]
+	}
+	var vb *VoteBatch
+	if sc != nil {
+		vb = &sc.batch
+	} else {
+		vb = &VoteBatch{}
+	}
+	if base == TypeVoteBatch {
+		vb.Compressed, vb.Saved = false, 0
+		if err := vb.decodePayload(payload); err != nil {
+			return nil, TraceContext{}, err
+		}
+		return vb, tc, nil
+	}
+	raw, saved, err := decodeZPayload(payload, sc)
+	if err != nil {
+		return nil, TraceContext{}, err
+	}
+	if err := vb.decodePayload(raw); err != nil {
+		return nil, TraceContext{}, err
+	}
+	vb.Compressed, vb.Saved = true, saved
+	return vb, tc, nil
+}
+
 // WriteFrame writes f's encoding to w in one Write call (frames are small
 // enough that partial writes only occur on a failing connection).
 func WriteFrame(w io.Writer, f Frame) error {
@@ -416,10 +594,12 @@ func WriteFrameTraced(w io.Writer, f Frame, tc TraceContext) error {
 	return nil
 }
 
-// Reader decodes a frame stream from an io.Reader with a single reusable
-// buffer bounded by MaxFrameBytes.
+// Reader decodes a frame stream from an io.Reader with reusable buffers:
+// an inline array covering every single-vote frame and a lazily-allocated,
+// reused spill buffer for batch frames (bounded by MaxBatchFrameBytes).
 type Reader struct {
 	r   io.Reader
+	big []byte
 	buf [headerBytes + MaxFrameBytes]byte
 }
 
@@ -449,12 +629,21 @@ func (r *Reader) ReadFrameTraced() (Frame, TraceContext, error) {
 // decoding separately from blocking I/O use ReadBody + DecodeBody; the
 // fused form is ReadFrameTraced.
 func DecodeBody(body []byte) (Frame, TraceContext, error) {
-	return decodeBody(body)
+	return decodeBody(body, nil)
+}
+
+// DecodeBodyScratch is DecodeBody with caller-owned scratch: the returned
+// frame aliases scratch storage, so steady-state decode allocates nothing.
+// The frame is only valid until the next decode with the same scratch.
+func DecodeBodyScratch(body []byte, sc *DecodeScratch) (Frame, TraceContext, error) {
+	return decodeBody(body, sc)
 }
 
 // ReadBody reads the next frame's body into the reader's internal buffer
 // and returns it without decoding. The slice is only valid until the next
-// read call.
+// read call. Single-vote bodies land in a fixed inline array; batch-sized
+// bodies use a second buffer that is allocated on first use and reused for
+// the life of the reader, so steady-state reads allocate nothing.
 func (r *Reader) ReadBody() ([]byte, error) {
 	head := r.buf[:headerBytes]
 	if _, err := io.ReadFull(r.r, head); err != nil {
@@ -467,13 +656,31 @@ func (r *Reader) ReadBody() ([]byte, error) {
 		return nil, fmt.Errorf("wire: read header: %w", err)
 	}
 	n := binary.BigEndian.Uint32(head)
-	if n > MaxFrameBytes {
-		return nil, fmt.Errorf("%w: declared %d bytes (limit %d)", ErrOversize, n, MaxFrameBytes)
+	if n > MaxBatchFrameBytes {
+		return nil, fmt.Errorf("%w: declared %d bytes (limit %d)", ErrOversize, n, MaxBatchFrameBytes)
 	}
 	if n < 2 {
 		return nil, fmt.Errorf("%w: declared %d bytes, need ≥ 2", ErrFrameSize, n)
 	}
-	body := r.buf[headerBytes : headerBytes+int(n)]
+	var body []byte
+	if n <= MaxFrameBytes {
+		body = r.buf[headerBytes : headerBytes+int(n)]
+	} else {
+		if cap(r.big) < int(n) {
+			// Grow geometrically to the declared size: steady-state streams
+			// reuse the buffer, and a reader of small batches never pays for
+			// the full MaxBatchFrameBytes cap.
+			want := 2 * cap(r.big)
+			if want < int(n) {
+				want = int(n)
+			}
+			if want > MaxBatchFrameBytes {
+				want = MaxBatchFrameBytes
+			}
+			r.big = make([]byte, want)
+		}
+		body = r.big[:n]
+	}
 	if _, err := io.ReadFull(r.r, body); err != nil {
 		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, fmt.Errorf("%w: EOF inside %d-byte body", ErrTruncated, n)

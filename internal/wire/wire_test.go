@@ -84,14 +84,25 @@ func TestReaderRejectsMidFrameEOF(t *testing.T) {
 }
 
 func TestDecodeRejectsOversize(t *testing.T) {
+	// The stream-level cap is the batch frame limit.
 	var b []byte
-	b = binary.BigEndian.AppendUint32(b, MaxFrameBytes+1)
-	b = append(b, make([]byte, MaxFrameBytes+1)...)
+	b = binary.BigEndian.AppendUint32(b, MaxBatchFrameBytes+1)
+	b = append(b, make([]byte, MaxBatchFrameBytes+1)...)
 	if _, _, err := Decode(b); !errors.Is(err, ErrOversize) {
 		t.Fatalf("err = %v, want ErrOversize", err)
 	}
 	if _, err := NewReader(bytes.NewReader(b)).ReadFrame(); !errors.Is(err, ErrOversize) {
 		t.Fatalf("reader err = %v, want ErrOversize", err)
+	}
+	// The 64-byte CONGEST-mirror cap still applies to single-vote types:
+	// a vote frame padded past MaxFrameBytes is a protocol error even
+	// though the stream-level cap now admits larger (batch) frames.
+	var v []byte
+	v = binary.BigEndian.AppendUint32(v, MaxFrameBytes+1)
+	v = append(v, MinVersion, TypeVote)
+	v = append(v, make([]byte, MaxFrameBytes-1)...)
+	if _, _, err := Decode(v); !errors.Is(err, ErrFrameSize) {
+		t.Fatalf("oversize vote err = %v, want ErrFrameSize", err)
 	}
 }
 
@@ -115,7 +126,7 @@ func TestDecodeRejectsWrongPayloadSize(t *testing.T) {
 	// A Done frame claiming a Hello-sized payload.
 	var b []byte
 	b = binary.BigEndian.AppendUint32(b, 2+12)
-	b = append(b, Version, TypeDone)
+	b = append(b, MinVersion, TypeDone)
 	b = append(b, make([]byte, 12)...)
 	if _, _, err := Decode(b); !errors.Is(err, ErrFrameSize) {
 		t.Fatalf("err = %v, want ErrFrameSize", err)
@@ -137,8 +148,8 @@ func TestTracedRoundTripEveryType(t *testing.T) {
 		if len(buf) != EncodedSizeTraced(f, tc) {
 			t.Errorf("%T: encoded %d bytes, EncodedSizeTraced says %d", f, len(buf), EncodedSizeTraced(f, tc))
 		}
-		if buf[4] != Version {
-			t.Errorf("%T: traced frame stamped version %d, want %d", f, buf[4], Version)
+		if buf[4] != TraceVersion {
+			t.Errorf("%T: traced frame stamped version %d, want %d", f, buf[4], TraceVersion)
 		}
 		got, gotTC, n, err := DecodeTraced(buf)
 		if err != nil {
@@ -224,7 +235,7 @@ func TestVersionNegotiation(t *testing.T) {
 	})
 	t.Run("v2 without context rejected", func(t *testing.T) {
 		b := Append(nil, vote)
-		b[4] = Version
+		b[4] = TraceVersion
 		if _, _, err := Decode(b); !errors.Is(err, ErrFrameSize) {
 			t.Fatalf("err = %v, want ErrFrameSize", err)
 		}
@@ -235,6 +246,25 @@ func TestVersionNegotiation(t *testing.T) {
 		copy(b[len(b)-traceContextBytes:], zero)
 		if _, _, err := Decode(b); !errors.Is(err, ErrTraceContext) {
 			t.Fatalf("err = %v, want ErrTraceContext", err)
+		}
+	})
+	t.Run("old type at v3 rejected", func(t *testing.T) {
+		// Batch framing is v3-only; re-encoding a single-vote type there
+		// would give it a second byte representation.
+		b := Append(nil, vote)
+		b[4] = BatchVersion
+		if _, _, err := Decode(b); !errors.Is(err, ErrVersion) {
+			t.Fatalf("err = %v, want ErrVersion", err)
+		}
+	})
+	t.Run("batch type below v3 rejected", func(t *testing.T) {
+		vb := &VoteBatch{Votes: []BatchVote{{Trial: 1, Node: 2, Reject: true}}}
+		for _, ver := range []byte{MinVersion, TraceVersion} {
+			b := Append(nil, vb)
+			b[4] = ver
+			if _, _, err := Decode(b); !errors.Is(err, ErrVersion) {
+				t.Fatalf("v%d batch err = %v, want ErrVersion", ver, err)
+			}
 		}
 	})
 	t.Run("v-next rejected gracefully", func(t *testing.T) {
