@@ -3,18 +3,32 @@
 //
 //	go run ./cmd/unifvet ./...
 //	go run ./cmd/unifvet -json ./... > vet.json
+//	go run ./cmd/unifvet -fix ./...
+//	go run ./cmd/unifvet -sarif unifvet.sarif ./...
 //
-// The five analyzers — detrand, wallclock, maporder, sharedrng, obsnil —
-// enforce the invariants the benchmark harness's byte-for-byte
-// reproducibility rests on; see DESIGN.md §3.8. Individual findings are
-// suppressed with `//unifvet:allow <analyzer> <reason>` on the offending
+// The nine analyzers — detrand, wallclock, maporder, sharedrng, obsnil,
+// framecap, votepure, lockio, qlifecycle — enforce the invariants the
+// benchmark harness's byte-for-byte reproducibility and the cluster
+// runtime's wire-protocol/concurrency contracts rest on; see DESIGN.md
+// §3.8 and §3.13. Individual findings are suppressed with
+// `//unifvet:allow <analyzer>[,<analyzer>…] <reason>` on the offending
 // line or the line above; the reason is mandatory.
+//
+// -fix applies the suggested fixes analyzers attach to mechanical findings
+// (currently obsnil's field-read → accessor rewrite) and reports what it
+// changed; findings without a fix are printed and still fail the run. The
+// rewrite is idempotent: a second -fix run on the result changes nothing.
+//
+// -sarif writes the findings as a SARIF 2.1.0 log to the given path ("-"
+// for stdout) for GitHub code scanning upload, alongside the normal output.
 //
 // Exit status: 0 when clean, 1 when any finding (or malformed directive)
 // is reported, 2 when packages fail to load. With -json the findings are
 // embedded in the shared obs run-document envelope (the same schema
-// emitted by unifbench/congestsim/gaptest -json), so CI tooling parses one
-// format for experiments, benchmarks, and lint results alike.
+// emitted by unifbench/congestsim/gaptest -json) together with a "counts"
+// map carrying an explicit — possibly zero — entry per analyzer, so CI
+// tooling parses one format for experiments, benchmarks, and lint results
+// alike and can chart per-analyzer trends without guessing at absent keys.
 package main
 
 import (
@@ -22,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"github.com/unifdist/unifdist/internal/analysis"
 	"github.com/unifdist/unifdist/internal/obs"
@@ -42,6 +57,8 @@ func run(args []string, dir string, stdout io.Writer) (int, error) {
 	fs := flag.NewFlagSet("unifvet", flag.ContinueOnError)
 	jsonFlag := fs.Bool("json", false, "emit findings as an obs run-document JSON")
 	listFlag := fs.Bool("analyzers", false, "list the analyzer suite and exit")
+	fixFlag := fs.Bool("fix", false, "apply suggested fixes to the source tree")
+	sarifFlag := fs.String("sarif", "", "write findings as SARIF 2.1.0 to this path (\"-\" for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -66,18 +83,65 @@ func run(args []string, dir string, stdout io.Writer) (int, error) {
 		return 2, err
 	}
 
+	if *fixFlag {
+		res, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			return 2, err
+		}
+		for _, f := range res.Files {
+			fmt.Fprintf(stdout, "fixed %s\n", f)
+		}
+		for _, d := range res.Remaining {
+			fmt.Fprintln(stdout, d.String())
+		}
+		if len(res.Remaining) > 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+
+	if *sarifFlag != "" {
+		root := dir
+		if abs, err := filepath.Abs(dir); err == nil {
+			root = abs
+		}
+		sarif, err := analysis.SARIF(diags, analyzers, root)
+		if err != nil {
+			return 2, err
+		}
+		sarif = append(sarif, '\n')
+		if *sarifFlag == "-" {
+			if _, err := stdout.Write(sarif); err != nil {
+				return 2, err
+			}
+		} else if err := os.WriteFile(*sarifFlag, sarif, 0o644); err != nil {
+			return 2, err
+		}
+	}
+
 	if *jsonFlag {
+		// counts carries one entry per registered analyzer (plus the
+		// "directive" pseudo-analyzer), zero included: dashboards diffing
+		// runs must see "framecap: 0", not a missing key.
+		counts := map[string]int{"directive": 0}
+		for _, a := range analyzers {
+			counts[a.Name] = 0
+		}
+		for _, d := range diags {
+			counts[d.Analyzer]++
+		}
 		doc := obs.Document{
 			Provenance: obs.CollectProvenance("unifvet", "", 0, patterns),
 			Results: map[string]any{
 				"findings": diags,
 				"clean":    len(diags) == 0,
+				"counts":   counts,
 			},
 		}
 		if err := doc.WriteJSON(stdout); err != nil {
 			return 2, err
 		}
-	} else {
+	} else if *sarifFlag != "-" {
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d.String())
 		}

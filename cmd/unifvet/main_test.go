@@ -168,9 +168,222 @@ func TestAnalyzersFlag(t *testing.T) {
 	if err != nil || code != 0 {
 		t.Fatalf("run: code=%d err=%v", code, err)
 	}
-	for _, name := range []string{"detrand", "wallclock", "maporder", "sharedrng", "obsnil"} {
+	for _, name := range []string{
+		"detrand", "wallclock", "maporder", "sharedrng", "obsnil",
+		"framecap", "votepure", "lockio", "qlifecycle",
+	} {
 		if !strings.Contains(buf.String(), name) {
 			t.Errorf("analyzer list missing %s:\n%s", name, buf.String())
+		}
+	}
+}
+
+// writeTempModuleFiles lays down a module from a path→contents map.
+func writeTempModuleFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpvet\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const fixObsStub = `package obs
+
+type Journal struct{}
+
+func (j *Journal) Write(e any) {}
+
+type Recorder struct{ Journal *Journal }
+
+func (r *Recorder) Jour() *Journal {
+	if r == nil {
+		return nil
+	}
+	return r.Journal
+}
+`
+
+// TestFixMode golden-tests -fix end to end: an obsnil field read is
+// rewritten to the nil-safe accessor, the run exits 0 because every
+// finding carried a fix, and a second run is a no-op (idempotent).
+func TestFixMode(t *testing.T) {
+	dir := writeTempModuleFiles(t, map[string]string{
+		"obs/obs.go": fixObsStub,
+		"main.go": `package main
+
+import "tmpvet/obs"
+
+func main() {
+	rec := &obs.Recorder{}
+	rec.Journal.Write("event")
+}
+`,
+	})
+	var buf bytes.Buffer
+	code, err := run([]string{"-fix", "./..."}, dir, &buf)
+	if err != nil {
+		t.Fatalf("unifvet -fix: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (all findings fixable); output:\n%s", code, buf.String())
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := `package main
+
+import "tmpvet/obs"
+
+func main() {
+	rec := &obs.Recorder{}
+	rec.Jour().Write("event")
+}
+`
+	if string(got) != golden {
+		t.Fatalf("-fix result:\n%s\nwant:\n%s", got, golden)
+	}
+	// Idempotency: the fixed tree is clean, so a second -fix changes nothing.
+	buf.Reset()
+	code, err = run([]string{"-fix", "./..."}, dir, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("second -fix: code=%d err=%v\n%s", code, err, buf.String())
+	}
+	again, _ := os.ReadFile(filepath.Join(dir, "main.go"))
+	if string(again) != golden {
+		t.Fatalf("-fix is not idempotent:\n%s", again)
+	}
+}
+
+// TestFixModeUnfixable verifies findings without a suggested fix survive
+// -fix and keep the exit code at 1.
+func TestFixModeUnfixable(t *testing.T) {
+	dir := writeTempModule(t, `package main
+
+import "math/rand"
+
+func main() { _ = rand.Intn(6) }
+`)
+	var buf bytes.Buffer
+	code, err := run([]string{"-fix", "./..."}, dir, &buf)
+	if err != nil {
+		t.Fatalf("unifvet -fix: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (unfixable finding remains)", code)
+	}
+	if !strings.Contains(buf.String(), "[detrand]") {
+		t.Fatalf("remaining finding not printed:\n%s", buf.String())
+	}
+}
+
+// TestSARIFFlag verifies -sarif writes a valid SARIF 2.1.0 log with
+// repo-relative URIs.
+func TestSARIFFlag(t *testing.T) {
+	dir := writeTempModule(t, `package main
+
+import "math/rand"
+
+func main() { _ = rand.Intn(6) }
+`)
+	sarifPath := filepath.Join(t.TempDir(), "unifvet.sarif")
+	var buf bytes.Buffer
+	code, err := run([]string{"-sarif", sarifPath, "./..."}, dir, &buf)
+	if err != nil {
+		t.Fatalf("unifvet -sarif: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	data, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("invalid SARIF JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
+		t.Fatalf("want one run with results, got %+v", log)
+	}
+	r := log.Runs[0].Results[0]
+	if r.RuleID != "detrand" {
+		t.Errorf("ruleId = %q, want detrand", r.RuleID)
+	}
+	if uri := r.Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "main.go" {
+		t.Errorf("uri = %q, want module-relative main.go", uri)
+	}
+}
+
+// TestJSONCounts verifies the run document carries an explicit count per
+// analyzer — zero included — so dashboards never have to guess whether a
+// missing key means clean or not-run.
+func TestJSONCounts(t *testing.T) {
+	dir := writeTempModule(t, `package main
+
+import "math/rand"
+
+func main() { _ = rand.Intn(6) }
+`)
+	var buf bytes.Buffer
+	code, err := run([]string{"-json", "./..."}, dir, &buf)
+	if err != nil {
+		t.Fatalf("unifvet -json: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	var doc struct {
+		Results struct {
+			Counts map[string]int `json:"counts"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("decode run document: %v", err)
+	}
+	want := []string{
+		"detrand", "wallclock", "maporder", "sharedrng", "obsnil",
+		"framecap", "votepure", "lockio", "qlifecycle", "directive",
+	}
+	if len(doc.Results.Counts) != len(want) {
+		t.Errorf("counts has %d entries, want %d: %v", len(doc.Results.Counts), len(want), doc.Results.Counts)
+	}
+	for _, name := range want {
+		n, ok := doc.Results.Counts[name]
+		if !ok {
+			t.Errorf("counts missing explicit entry for %s", name)
+			continue
+		}
+		if name == "detrand" && n != 1 {
+			t.Errorf("counts[detrand] = %d, want 1", n)
+		}
+		if name != "detrand" && n != 0 {
+			t.Errorf("counts[%s] = %d, want explicit 0", name, n)
 		}
 	}
 }

@@ -54,6 +54,14 @@ type Pass struct {
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportfFix(pos, nil, format, args...)
+}
+
+// ReportfFix records a diagnostic at pos carrying a suggested fix. Fixes
+// must be mechanical and semantics-preserving: `cmd/unifvet -fix` applies
+// them verbatim, so an analyzer only attaches one when the rewrite is
+// provably equivalent (e.g. obsnil's field-read → nil-safe-accessor swap).
+func (p *Pass) ReportfFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	p.diags = append(p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
@@ -62,6 +70,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Col:      position.Column,
 		Message:  fmt.Sprintf(format, args...),
 		Package:  p.Path,
+		Fix:      fix,
 	})
 }
 
@@ -74,6 +83,34 @@ type Diagnostic struct {
 	Col      int    `json:"col"`
 	Message  string `json:"message"`
 	Package  string `json:"package,omitempty"`
+	// Fix, when non-nil, is a mechanical rewrite that resolves the finding;
+	// cmd/unifvet -fix applies it.
+	Fix *SuggestedFix `json:"suggested_fix,omitempty"`
+}
+
+// A TextEdit replaces the bytes [Start, End) of File with New. Offsets are
+// byte offsets into the file as parsed (token.Position.Offset).
+type TextEdit struct {
+	File  string `json:"file"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	New   string `json:"new"`
+}
+
+// A SuggestedFix is one mechanical rewrite resolving a finding.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// Edit builds the single-edit fix replacing [pos, end) with new text.
+func (p *Pass) Edit(pos, end token.Pos, msg, new string) *SuggestedFix {
+	start := p.Fset.Position(pos)
+	stop := p.Fset.Position(end)
+	return &SuggestedFix{
+		Message: msg,
+		Edits:   []TextEdit{{File: start.Filename, Start: start.Offset, End: stop.Offset, New: new}},
+	}
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -81,7 +118,9 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 }
 
-// All returns the full unifvet analyzer suite in reporting order.
+// All returns the full unifvet analyzer suite in reporting order. The
+// first five guard the simulation/trial invariants (PR 3); the last four
+// guard the cluster runtime's wire-protocol and concurrency contracts.
 func All() []*Analyzer {
 	return []*Analyzer{
 		DetRand,
@@ -89,6 +128,10 @@ func All() []*Analyzer {
 		MapOrder,
 		SharedRNG,
 		ObsNil,
+		FrameCap,
+		VotePure,
+		LockIO,
+		QLifecycle,
 	}
 }
 

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the lightweight intra-procedural dataflow engine shared by
+// the cluster-runtime analyzers (framecap, votepure): value-origin tracking
+// through assignments within one function, and a package-local function
+// index + call-graph resolution so purity facts can propagate through
+// same-package calls. It deliberately stops at package boundaries — imports
+// are compiled export data with no syntax — which matches the analyzers'
+// contracts: cross-package callees are judged by name and import path, not
+// re-analyzed.
+
+// funcIndex maps the package's function and method objects to their
+// declarations, letting analyzers follow same-package calls into bodies.
+type funcIndex map[types.Object]*ast.FuncDecl
+
+// indexFuncs builds the package-local function index over non-test files.
+func indexFuncs(pass *Pass) funcIndex {
+	idx := funcIndex{}
+	for _, f := range pass.Files {
+		if IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				idx[obj] = fd
+			}
+		}
+	}
+	return idx
+}
+
+// calleeObject resolves call's callee to its function or method object:
+// pkg.F(...), f(...), and recv.M(...) all resolve; dynamic calls (function
+// values, interface methods without a concrete callee) return nil.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// objPkgSegment reports whether obj is declared in a package whose import
+// path contains seg as a path segment (fixture-friendly, like
+// HasPathSegment).
+func objPkgSegment(obj types.Object, seg string) bool {
+	return obj != nil && obj.Pkg() != nil && HasPathSegment(obj.Pkg().Path(), seg)
+}
+
+// origins resolves, within one function body, the syntactic origins of
+// local values: for each local variable, the right-hand expressions it was
+// assigned. An analyzer asks where a sink argument came from and gets back
+// the producing expressions (calls, literals, parameters), unwrapped
+// through chains of local assignments.
+type origins struct {
+	info    *types.Info
+	assigns map[types.Object][]ast.Expr
+}
+
+// trackOrigins scans body (skipping nested function literals, which are
+// their own scopes) and records every assignment to a local variable.
+func trackOrigins(info *types.Info, body *ast.BlockStmt) *origins {
+	o := &origins{info: info, assigns: map[types.Object][]ast.Expr{}}
+	if body == nil {
+		return o
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch {
+		case len(as.Lhs) == len(as.Rhs):
+			for i, lhs := range as.Lhs {
+				o.record(lhs, as.Rhs[i])
+			}
+		case len(as.Rhs) == 1:
+			// Multi-value assignment (buf, err := f(...)): every lhs
+			// originates from the one call.
+			for _, lhs := range as.Lhs {
+				o.record(lhs, as.Rhs[0])
+			}
+		}
+		return true
+	})
+	return o
+}
+
+// record attributes rhs as an origin of the variable behind lhs.
+func (o *origins) record(lhs ast.Expr, rhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := o.info.Defs[id]
+	if obj == nil {
+		obj = o.info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	o.assigns[obj] = append(o.assigns[obj], rhs)
+}
+
+// resolve unwraps e to its producing expressions: identifiers follow their
+// recorded assignments (transitively, cycle-safe); everything else is its
+// own origin. A variable with no recorded assignment (parameter, field,
+// captured value, range variable) resolves to nil — origin unknown — and
+// the caller decides how conservative to be.
+func (o *origins) resolve(e ast.Expr) []ast.Expr {
+	return o.resolveSeen(e, map[types.Object]bool{})
+}
+
+func (o *origins) resolveSeen(e ast.Expr, seen map[types.Object]bool) []ast.Expr {
+	e = ast.Unparen(e)
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return []ast.Expr{e}
+	}
+	obj := o.info.Uses[id]
+	if obj == nil {
+		obj = o.info.Defs[id]
+	}
+	if obj == nil || seen[obj] {
+		return nil
+	}
+	seen[obj] = true
+	rhs := o.assigns[obj]
+	if len(rhs) == 0 {
+		return nil // parameter, field, or otherwise untracked
+	}
+	var out []ast.Expr
+	for _, r := range rhs {
+		out = append(out, o.resolveSeen(r, seen)...)
+	}
+	return out
+}
+
+// byteSliceType reports whether t is []byte (or a named type whose
+// underlying type is []byte).
+func byteSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Byte
+}

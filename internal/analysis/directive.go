@@ -8,12 +8,14 @@ import (
 
 // DirectivePrefix introduces a suppression comment. The full syntax is
 //
-//	//unifvet:allow <analyzer> <reason…>
+//	//unifvet:allow <analyzer>[,<analyzer>…] <reason…>
 //
 // placed either at the end of the offending line or on its own line
-// immediately above. The reason is mandatory: a suppression without a
-// recorded justification is itself reported as a finding, so `unifvet`
-// output stays the audit trail for every exemption.
+// immediately above. One line can suppress several analyzers at once by
+// naming them comma-separated (no spaces): `//unifvet:allow
+// lockio,framecap <reason>`. The reason is mandatory in every form: a
+// suppression without a recorded justification is itself reported as a
+// finding, so `unifvet` output stays the audit trail for every exemption.
 const DirectivePrefix = "//unifvet:allow"
 
 // An Allow is one parsed suppression directive.
@@ -56,12 +58,26 @@ func CollectAllows(fset *token.FileSet, files []*ast.File) (Allows, []Diagnostic
 					continue
 				}
 				if len(fields) < 2 {
+					// The reason is mandatory in the single- and multi-analyzer
+					// forms alike: a reasonless `//unifvet:allow lockio,framecap`
+					// is a finding, not a suppression.
 					bad = append(bad, Diagnostic{
 						Analyzer: "directive",
 						File:     pos.Filename,
 						Line:     pos.Line,
 						Col:      pos.Column,
 						Message:  "//unifvet:allow " + fields[0] + " needs a trailing reason explaining the exemption",
+					})
+					continue
+				}
+				analyzers, ok := splitAnalyzerList(fields[0])
+				if !ok {
+					bad = append(bad, Diagnostic{
+						Analyzer: "directive",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed //unifvet:allow analyzer list " + fields[0] + ": comma-separated names, no empty entries",
 					})
 					continue
 				}
@@ -75,11 +91,26 @@ func CollectAllows(fset *token.FileSet, files []*ast.File) (Allows, []Diagnostic
 					names = map[string]bool{}
 					lines[pos.Line] = names
 				}
-				names[fields[0]] = true
+				for _, a := range analyzers {
+					names[a] = true
+				}
 			}
 		}
 	}
 	return allows, bad
+}
+
+// splitAnalyzerList parses the directive's analyzer field: one name, or
+// several comma-separated (`lockio,framecap`). Empty entries — a leading,
+// trailing, or doubled comma — make the whole list malformed.
+func splitAnalyzerList(field string) ([]string, bool) {
+	parts := strings.Split(field, ",")
+	for _, p := range parts {
+		if p == "" {
+			return nil, false
+		}
+	}
+	return parts, true
 }
 
 // Allowed reports whether a diagnostic from analyzer at file:line is

@@ -71,6 +71,69 @@ var b int
 	}
 }
 
+func TestCollectAllowsMultiAnalyzer(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//unifvet:allow lockio,framecap shutdown path flushes one pre-encoded frame
+var a int
+`)
+	allows, bad := CollectAllows(fset, files)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-directive diagnostics: %v", bad)
+	}
+	for _, name := range []string{"lockio", "framecap"} {
+		if !allows.Allowed(name, "dir.go", 4) {
+			t.Errorf("multi-analyzer directive should suppress %s on line 4", name)
+		}
+	}
+	if allows.Allowed("qlifecycle", "dir.go", 4) {
+		t.Errorf("multi-analyzer directive must not suppress unlisted analyzers")
+	}
+}
+
+func TestCollectAllowsMultiAnalyzerNeedsReason(t *testing.T) {
+	// The reasonless multi-analyzer form is itself a finding, exactly like
+	// the single-analyzer form.
+	fset, files := parseOne(t, `package p
+
+//unifvet:allow lockio,framecap
+var a int
+`)
+	allows, bad := CollectAllows(fset, files)
+	if len(bad) != 1 {
+		t.Fatalf("want 1 malformed-directive diagnostic, got %v", bad)
+	}
+	if !strings.Contains(bad[0].Message, "needs a trailing reason") {
+		t.Errorf("missing-reason message: %q", bad[0].Message)
+	}
+	if allows.Allowed("lockio", "dir.go", 4) || allows.Allowed("framecap", "dir.go", 4) {
+		t.Errorf("reasonless multi-analyzer directive must not suppress anything")
+	}
+}
+
+func TestCollectAllowsMalformedList(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//unifvet:allow lockio,,framecap doubled comma is malformed
+var a int
+
+//unifvet:allow ,lockio leading comma is malformed
+var b int
+`)
+	allows, bad := CollectAllows(fset, files)
+	if len(bad) != 2 {
+		t.Fatalf("want 2 malformed-directive diagnostics, got %v", bad)
+	}
+	for _, d := range bad {
+		if !strings.Contains(d.Message, "malformed //unifvet:allow analyzer list") {
+			t.Errorf("malformed-list message: %q", d.Message)
+		}
+	}
+	if allows.Allowed("lockio", "dir.go", 4) || allows.Allowed("framecap", "dir.go", 4) || allows.Allowed("lockio", "dir.go", 7) {
+		t.Errorf("malformed list must not suppress anything")
+	}
+}
+
 func TestAllowsFilter(t *testing.T) {
 	fset, files := parseOne(t, `package p
 

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// FixResult summarizes one ApplyFixes run.
+type FixResult struct {
+	// Fixed counts diagnostics whose suggested fix was applied.
+	Fixed int
+	// Remaining holds the diagnostics that carried no fix (or whose fix
+	// collided with another edit) and therefore still need a human.
+	Remaining []Diagnostic
+	// Files lists the rewritten files, sorted.
+	Files []string
+}
+
+// ApplyFixes applies every diagnostic's suggested fix to the files on disk.
+// Edits are applied per file in descending offset order so earlier edits
+// don't shift later offsets; when two edits overlap, the later-starting one
+// wins and the discarded diagnostic is returned in Remaining. The rewrite
+// is idempotent by construction: a fixed file no longer produces the
+// diagnostic, so a second run has nothing to apply.
+func ApplyFixes(diags []Diagnostic) (FixResult, error) {
+	res := FixResult{}
+	type pendingEdit struct {
+		TextEdit
+		diag Diagnostic
+	}
+	byFile := map[string][]pendingEdit{}
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			res.Remaining = append(res.Remaining, d)
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			byFile[e.File] = append(byFile[e.File], pendingEdit{e, d})
+		}
+	}
+	fixed := map[string]bool{} // diagnostic key → applied
+	for file, edits := range byFile {
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return res, fmt.Errorf("apply fixes: %w", err)
+		}
+		out := src
+		lastStart := len(src) + 1
+		for _, e := range edits {
+			if e.Start < 0 || e.End > len(src) || e.Start > e.End {
+				return res, fmt.Errorf("apply fixes: %s: edit [%d,%d) out of range", file, e.Start, e.End)
+			}
+			if e.End > lastStart {
+				// Overlaps an already-applied edit; keep the diagnostic.
+				res.Remaining = append(res.Remaining, e.diag)
+				continue
+			}
+			out = append(out[:e.Start], append([]byte(e.New), out[e.End:]...)...)
+			lastStart = e.Start
+			fixed[e.diag.String()] = true
+		}
+		if err := os.WriteFile(file, out, 0o644); err != nil {
+			return res, fmt.Errorf("apply fixes: %w", err)
+		}
+		res.Files = append(res.Files, file)
+	}
+	for _, d := range diags {
+		if fixed[d.String()] {
+			res.Fixed++
+		}
+	}
+	sort.Strings(res.Files)
+	SortDiagnostics(res.Remaining)
+	return res, nil
+}

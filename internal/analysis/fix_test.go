@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFixFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fixme.go")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestApplyFixesRewrites(t *testing.T) {
+	path := writeFixFile(t, "abc rec.Journal xyz rec.Registry end")
+	diags := []Diagnostic{
+		{Analyzer: "obsnil", File: path, Line: 1, Col: 5, Message: "journal",
+			Fix: &SuggestedFix{Message: "use Jour()", Edits: []TextEdit{{File: path, Start: 8, End: 15, New: "Jour()"}}}},
+		{Analyzer: "obsnil", File: path, Line: 1, Col: 21, Message: "registry",
+			Fix: &SuggestedFix{Message: "use Reg()", Edits: []TextEdit{{File: path, Start: 24, End: 32, New: "Reg()"}}}},
+	}
+	res, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fixed != 2 || len(res.Remaining) != 0 {
+		t.Fatalf("Fixed=%d Remaining=%v, want 2 fixed, none remaining", res.Fixed, res.Remaining)
+	}
+	got, _ := os.ReadFile(path)
+	want := "abc rec.Jour() xyz rec.Reg() end"
+	if string(got) != want {
+		t.Fatalf("rewritten = %q, want %q", got, want)
+	}
+}
+
+func TestApplyFixesKeepsUnfixable(t *testing.T) {
+	path := writeFixFile(t, "unchanged")
+	diags := []Diagnostic{
+		{Analyzer: "lockio", File: path, Line: 1, Message: "no mechanical fix"},
+	}
+	res, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fixed != 0 || len(res.Remaining) != 1 || len(res.Files) != 0 {
+		t.Fatalf("res = %+v, want nothing fixed and one remaining", res)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "unchanged" {
+		t.Fatalf("file rewritten without a fix: %q", got)
+	}
+}
+
+func TestApplyFixesOverlapKeepsLoser(t *testing.T) {
+	path := writeFixFile(t, "0123456789")
+	diags := []Diagnostic{
+		{Analyzer: "a", File: path, Line: 1, Col: 1, Message: "wide",
+			Fix: &SuggestedFix{Edits: []TextEdit{{File: path, Start: 0, End: 6, New: "W"}}}},
+		{Analyzer: "b", File: path, Line: 1, Col: 5, Message: "late",
+			Fix: &SuggestedFix{Edits: []TextEdit{{File: path, Start: 4, End: 8, New: "L"}}}},
+	}
+	res, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The later-starting edit applies first (descending order); the earlier
+	// one overlaps it and is kept as remaining.
+	if res.Fixed != 1 || len(res.Remaining) != 1 {
+		t.Fatalf("res = %+v, want one fixed, one remaining", res)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "0123L89" {
+		t.Fatalf("rewritten = %q, want %q", got, "0123L89")
+	}
+}
+
+func TestApplyFixesRejectsOutOfRange(t *testing.T) {
+	path := writeFixFile(t, "tiny")
+	diags := []Diagnostic{
+		{Analyzer: "a", File: path, Message: "bad edit",
+			Fix: &SuggestedFix{Edits: []TextEdit{{File: path, Start: 2, End: 99, New: "x"}}}},
+	}
+	if _, err := ApplyFixes(diags); err == nil {
+		t.Fatal("want an out-of-range error")
+	}
+}

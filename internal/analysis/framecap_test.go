@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/unifdist/unifdist/internal/analysis"
+	"github.com/unifdist/unifdist/internal/analysis/analysistest"
+)
+
+func TestFrameCap(t *testing.T) {
+	analysistest.Run(t, analysis.FrameCap,
+		"framecap/cluster/bad",
+		"framecap/cluster/allowed",
+		"framecap/cluster/good",
+	)
+}

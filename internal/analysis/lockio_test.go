@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/unifdist/unifdist/internal/analysis"
+	"github.com/unifdist/unifdist/internal/analysis/analysistest"
+)
+
+func TestLockIO(t *testing.T) {
+	analysistest.Run(t, analysis.LockIO,
+		"lockio/cluster/bad",
+		"lockio/cluster/allowed",
+		"lockio/cluster/good",
+	)
+}

@@ -54,7 +54,11 @@ func runObsNil(pass *Pass) error {
 			if !ok || !NamedFrom(tv.Type, "obs", "Recorder") {
 				return true
 			}
-			pass.Reportf(sel.Pos(), "direct read of obs.Recorder.%s panics when telemetry is disabled (nil recorder): use the nil-safe %s accessor", sel.Sel.Name, accessor)
+			// The rewrite is mechanical — the accessor returns exactly the
+			// field when the recorder is non-nil — so attach it as a fix.
+			fix := pass.Edit(sel.Sel.Pos(), sel.Sel.End(),
+				"replace the field read with the nil-safe "+accessor+" accessor", accessor)
+			pass.ReportfFix(sel.Pos(), fix, "direct read of obs.Recorder.%s panics when telemetry is disabled (nil recorder): use the nil-safe %s accessor", sel.Sel.Name, accessor)
 			return true
 		})
 	}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/unifdist/unifdist/internal/analysis"
+	"github.com/unifdist/unifdist/internal/analysis/analysistest"
+)
+
+func TestQLifecycle(t *testing.T) {
+	analysistest.Run(t, analysis.QLifecycle,
+		"qlifecycle/cluster/bad",
+		"qlifecycle/cluster/allowed",
+		"qlifecycle/cluster/good",
+	)
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+// This file renders diagnostics as SARIF 2.1.0, the interchange format
+// GitHub code scanning ingests. Only the structures unifvet emits are
+// modeled — a tool driver with one rule per analyzer and one result per
+// diagnostic — but the field names and shapes follow the OASIS schema so
+// the output validates and uploads unmodified.
+
+const (
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIF renders diags as an indented SARIF 2.1.0 log. analyzers supplies
+// the rule table (every registered analyzer appears, findings or not, plus
+// the "directive" pseudo-rule); root, when non-empty, is the directory file
+// paths are made relative to so the URIs match the repository layout code
+// scanning expects.
+func SARIF(diags []Diagnostic, analyzers []*Analyzer, root string) ([]byte, error) {
+	driver := sarifDriver{
+		Name:  "unifvet",
+		Rules: []sarifRule{},
+	}
+	ruleIndex := map[string]int{}
+	addRule := func(id, doc string) {
+		if _, ok := ruleIndex[id]; ok {
+			return
+		}
+		ruleIndex[id] = len(driver.Rules)
+		driver.Rules = append(driver.Rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	addRule("directive", "malformed or reasonless //unifvet:allow suppression directive")
+
+	results := []sarifResult{}
+	for _, d := range diags {
+		if _, ok := ruleIndex[d.Analyzer]; !ok {
+			addRule(d.Analyzer, "")
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ruleIndex[d.Analyzer],
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       sarifURI(d.File, root),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// sarifURI renders file relative to root with forward slashes, as SARIF
+// artifact locations require. Files outside root keep their original path.
+func sarifURI(file, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return filepath.ToSlash(file)
+}

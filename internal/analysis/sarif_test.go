@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSARIFStructure validates the emitted log against the SARIF 2.1.0
+// shapes code scanning requires: schema/version headers, a rule per
+// analyzer (zero findings included), and results whose ruleIndex points at
+// the matching rule.
+func TestSARIFStructure(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "lockio", File: "/repo/internal/cluster/referee.go", Line: 10, Col: 3, Message: "conn Write while holding rf.mu"},
+		{Analyzer: "directive", File: "/repo/internal/wire/wire.go", Line: 4, Col: 1, Message: "needs a trailing reason"},
+	}
+	out, err := SARIF(diags, All(), "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if log.Schema == "" {
+		t.Error("missing $schema")
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "unifvet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// Every registered analyzer appears as a rule even without findings,
+	// plus the directive pseudo-rule.
+	if want := len(All()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("rules = %d, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	ruleIDs := map[string]int{}
+	for i, r := range run.Tool.Driver.Rules {
+		if r.ID == "" {
+			t.Errorf("rule %d has empty id", i)
+		}
+		ruleIDs[r.ID] = i
+	}
+	for _, name := range []string{"framecap", "votepure", "lockio", "qlifecycle", "directive"} {
+		if _, ok := ruleIDs[name]; !ok {
+			t.Errorf("rule table missing %s", name)
+		}
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(diags))
+	}
+	for i, r := range run.Results {
+		if r.Level != "error" {
+			t.Errorf("result %d level = %q", i, r.Level)
+		}
+		if ruleIDs[r.RuleID] != r.RuleIndex {
+			t.Errorf("result %d ruleIndex = %d, want %d for %s", i, r.RuleIndex, ruleIDs[r.RuleID], r.RuleID)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result %d locations = %d", i, len(r.Locations))
+		}
+	}
+	// Paths relativize against root and use forward slashes.
+	uri := run.Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI
+	if uri != "internal/cluster/referee.go" {
+		t.Errorf("uri = %q, want repo-relative path", uri)
+	}
+	if run.Results[0].Locations[0].PhysicalLocation.Region.StartLine != 10 {
+		t.Errorf("startLine = %d, want 10", run.Results[0].Locations[0].PhysicalLocation.Region.StartLine)
+	}
+}
+
+// TestSARIFEmptyIsClean verifies a finding-free run still emits a valid
+// log with the full rule table and an empty (not null) results array.
+func TestSARIFEmptyIsClean(t *testing.T) {
+	out, err := SARIF(nil, All(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatal(err)
+	}
+	runs := log["runs"].([]any)
+	results, ok := runs[0].(map[string]any)["results"].([]any)
+	if !ok {
+		t.Fatalf("results must be an array, got %T", runs[0].(map[string]any)["results"])
+	}
+	if len(results) != 0 {
+		t.Fatalf("results = %d, want 0", len(results))
+	}
+}

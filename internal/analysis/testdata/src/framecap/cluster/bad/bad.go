@@ -1,0 +1,31 @@
+// Package bad exercises framecap's violation cases: hand-rolled frame
+// bytes and untraceable byte slices reaching connection writes and the
+// send-queue surface.
+package bad
+
+import "net"
+
+type sendQueue struct{ pending [][]byte }
+
+func (q *sendQueue) send(frame []byte) {
+	q.pending = append(q.pending, frame)
+}
+
+func handRolled(c net.Conn) {
+	buf := []byte{0x01, 0x02, 0x03} // want "hand-rolled frame bytes reach the connection write"
+	c.Write(buf)
+}
+
+func handRolledAppend(c net.Conn, vote byte) {
+	frame := append([]byte{0x01}, vote) // want "hand-rolled frame bytes reach the connection write"
+	c.Write(frame)
+}
+
+func unknownOrigin(c net.Conn, payload []byte) {
+	c.Write(payload) // want "byte slice of unknown origin reaches the connection write"
+}
+
+func queueHandRolled(q *sendQueue, vote byte) {
+	raw := []byte{0xff, vote} // want "hand-rolled frame bytes reach the send queue"
+	q.send(raw)
+}

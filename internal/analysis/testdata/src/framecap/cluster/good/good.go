@@ -1,0 +1,46 @@
+// Package good holds framecap-clean transport code: every byte slice
+// reaching a conn or the send queue comes from a wire constructor.
+package good
+
+import (
+	"net"
+
+	"wire"
+)
+
+type sendQueue struct{ pending [][]byte }
+
+func (q *sendQueue) send(frame []byte) {
+	q.pending = append(q.pending, frame)
+}
+
+func single(c net.Conn, vote byte) {
+	buf := wire.Append(nil, vote)
+	c.Write(buf)
+}
+
+func traced(c net.Conn, vote byte, trace uint64) {
+	frame := wire.AppendTraced(nil, vote, trace)
+	c.Write(frame)
+}
+
+func batched(c net.Conn, votes []byte) {
+	frame := wire.EncodeBatch(votes)
+	c.Write(frame)
+}
+
+func viaEncoder(q *sendQueue, votes []byte) {
+	var enc wire.BatchEncoder
+	for _, v := range votes {
+		frame := enc.Append(v)
+		q.send(frame)
+	}
+}
+
+func reassigned(c net.Conn, votes []byte) {
+	buf := wire.Append(nil, 0)
+	for _, v := range votes {
+		buf = wire.Append(buf, v)
+	}
+	c.Write(buf)
+}

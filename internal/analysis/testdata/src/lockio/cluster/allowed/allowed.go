@@ -1,0 +1,16 @@
+// Package allowed verifies //unifvet:allow suppresses a lockio finding.
+package allowed
+
+import (
+	"net"
+	"sync"
+)
+
+type gate struct{ mu sync.Mutex }
+
+func (g *gate) flush(c net.Conn, b []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	//unifvet:allow lockio single-connection shutdown path, no concurrent holders
+	c.Write(b)
+}

@@ -1,0 +1,66 @@
+// Package good holds lockio-clean code, centered on the recordLocked
+// pattern the real referee uses: all blocking I/O (reads, decodes, writes)
+// happens outside the critical section; the mutex guards pure bookkeeping.
+package good
+
+import (
+	"net"
+	"sync"
+)
+
+type referee struct {
+	mu     sync.Mutex
+	ch     chan int
+	closed bool
+	total  int
+}
+
+// record is the recordLocked shape: read and decode outside the lock,
+// mutate counters inside, respond after releasing.
+func (r *referee) record(c net.Conn, buf []byte) error {
+	n, err := c.Read(buf)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.total += n
+	r.mu.Unlock()
+	_, err = c.Write(buf[:n])
+	return err
+}
+
+// tryNotify sends while holding the lock — legal because the select has a
+// default clause and cannot block.
+func (r *referee) tryNotify(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case r.ch <- v:
+	default:
+	}
+}
+
+// earlyRelease writes on a branch that has already unlocked; the other
+// branch keeps the lock but does no I/O.
+func (r *referee) earlyRelease(c net.Conn, b []byte) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		c.Write(b)
+		return
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// deferredWrite builds the response under the lock and performs the write
+// in a function literal that runs after the critical section.
+func (r *referee) deferredWrite(c net.Conn) func() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := []byte{byte(r.total)}
+	return func() error {
+		_, err := c.Write(out)
+		return err
+	}
+}

@@ -1,0 +1,11 @@
+// Package allowed verifies //unifvet:allow suppresses a qlifecycle finding.
+package allowed
+
+func heartbeat(ch chan int) {
+	//unifvet:allow qlifecycle process-lifetime daemon, reaped at exit
+	go func() {
+		for {
+			<-ch
+		}
+	}()
+}

@@ -1,0 +1,34 @@
+// Package bad exercises qlifecycle's violation cases: goroutines whose
+// loops have no reachable shutdown path.
+package bad
+
+func drainForever(ch chan int) {
+	go func() { // want "goroutine loops forever with no shutdown path"
+		for {
+			<-ch
+		}
+	}()
+}
+
+func spinWorker(ch chan int) {
+	var total int
+	go func() { // want "goroutine loops forever with no shutdown path"
+		for {
+			select {
+			case v := <-ch:
+				total += v
+			}
+		}
+	}()
+	_ = total
+}
+
+func pump(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+func spawnNamed(ch chan int) {
+	go pump(ch) // want "pump loops forever with no shutdown path"
+}

@@ -1,0 +1,11 @@
+// Package allowed verifies //unifvet:allow suppresses a votepure finding.
+package allowed
+
+import "time"
+
+type Probe struct{}
+
+func (Probe) VoteAt(base, trial, node uint64) bool {
+	//unifvet:allow votepure diagnostic-only probe, never used in differential runs
+	return time.Now().UnixNano()%2 == 0
+}

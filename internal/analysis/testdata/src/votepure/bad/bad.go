@@ -1,0 +1,41 @@
+// Package bad exercises votepure's violation cases: wall-clock reads,
+// global math/rand draws, mutable package state, and impurity reached
+// through a same-package helper.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+var drift int
+
+type Tester struct{ bias uint64 }
+
+func (t Tester) VoteAt(base, trial, node uint64) bool {
+	now := time.Now() // want "VoteAt: reads the wall clock"
+	_ = now
+	drift++                  // want "VoteAt: touches mutable package state \(drift\)"
+	return rand.Intn(2) == 0 // want "VoteAt: draws from the shared math/rand stream"
+}
+
+func jitter() int {
+	return rand.Intn(3)
+}
+
+func (t Tester) RunAt(trial uint64) bool {
+	return jitter() > 0 // want "RunAt calls jitter, which draws from the shared math/rand stream"
+}
+
+func deepHelper() time.Time {
+	return time.Now()
+}
+
+func midHelper() int64 {
+	return deepHelper().Unix()
+}
+
+func (t Tester) VoteStream(base uint64) []bool {
+	n := midHelper() // want "VoteStream calls midHelper, which reads the wall clock \(in deepHelper\)"
+	return []bool{n%2 == 0}
+}

@@ -1,0 +1,39 @@
+// Package good holds votepure-clean contract implementations: votes are
+// pure functions of (base, trial, node) plus receiver configuration fixed
+// before any trial runs.
+package good
+
+import "encoding/binary"
+
+const votePeriod = 7
+
+type Tester struct {
+	seed uint64
+	eps  float64
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+func (t Tester) VoteAt(base, trial, node uint64) bool {
+	h := mix(t.seed ^ mix(base+trial*votePeriod) ^ mix(node))
+	return h&1 == 0
+}
+
+func (t Tester) RunAt(trial uint64) bool {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], t.seed+trial)
+	return buf[7]&1 == 0
+}
+
+func (t Tester) VoteStream(base uint64) []bool {
+	out := make([]bool, votePeriod)
+	for i := range out {
+		out[i] = t.VoteAt(base, uint64(i), 0)
+	}
+	return out
+}

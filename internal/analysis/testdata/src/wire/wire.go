@@ -1,0 +1,37 @@
+// Package wire is a minimal stand-in for internal/wire in framecap
+// fixtures: the analyzer recognizes frame constructors by the "wire" path
+// segment plus an Append/Encode name prefix, and the Reader type by name.
+package wire
+
+// Append appends one cap-checked frame to buf.
+func Append(buf []byte, payload byte) []byte {
+	return append(buf, 1, payload)
+}
+
+// AppendTraced appends one cap-checked, trace-stamped frame to buf.
+func AppendTraced(buf []byte, payload byte, trace uint64) []byte {
+	return append(Append(buf, payload), byte(trace))
+}
+
+// EncodeBatch encodes votes as one cap-checked batch frame.
+func EncodeBatch(votes []byte) []byte {
+	return append([]byte{2, byte(len(votes))}, votes...)
+}
+
+// BatchEncoder accumulates votes into cap-checked batch frames.
+type BatchEncoder struct{ buf []byte }
+
+// Append adds one vote and returns the running frame bytes.
+func (e *BatchEncoder) Append(vote byte) []byte {
+	e.buf = append(e.buf, vote)
+	return EncodeBatch(e.buf)
+}
+
+// Reader decodes frames from a stream (stub).
+type Reader struct{ n int }
+
+// ReadFrame consumes one frame (stub).
+func (r *Reader) ReadFrame() ([]byte, error) {
+	r.n++
+	return nil, nil
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// voteContractNames are the function/method names implementing the indexed
+// randomness contract (zeroround.VoteAt/RunAt/VoteStream): the vote of
+// (base, trial, node) must be a pure function of its arguments. The
+// pluggable-statistic roadmap multiplies implementations of these hooks,
+// so the contract is enforced by name wherever it appears, not by package.
+var voteContractNames = map[string]bool{
+	"VoteAt":     true,
+	"RunAt":      true,
+	"VoteStream": true,
+}
+
+// VotePure enforces the purity contract on indexed vote functions: a
+// VoteAt/RunAt/VoteStream implementation may not read the wall clock
+// (time.Now/Since), draw from the global math/rand stream, or touch
+// mutable package-level state — directly or through any same-package
+// callee. Purity is what makes batched, retried, and faulted cluster runs
+// trial-identical to the in-process reference execution: the cluster's
+// differential tests pin VoteAt(base, t, i) equal across any scheduling,
+// and that only holds if nothing outside the arguments feeds the vote.
+// Receiver and parameter state is allowed (the network's testers are
+// configuration, fixed before any trial runs); _test.go files are exempt.
+var VotePure = &Analyzer{
+	Name: "votepure",
+	Doc:  "forbid wall clock, global rand, and mutable package state in VoteAt/RunAt/VoteStream implementations",
+	Run:  runVotePure,
+}
+
+// impurity is one reason a function is impure.
+type impurity struct {
+	pos token.Pos
+	msg string
+}
+
+func runVotePure(pass *Pass) error {
+	idx := indexFuncs(pass)
+	var contract []*ast.FuncDecl
+	for _, fd := range idx {
+		if voteContractNames[fd.Name.Name] {
+			contract = append(contract, fd) //unifvet:allow maporder diagnostics are position-sorted by RunAnalyzers before output
+		}
+	}
+	if len(contract) == 0 {
+		return nil
+	}
+
+	// Direct impurities per function, computed lazily and memoized.
+	direct := map[*ast.FuncDecl][]impurity{}
+	for _, fd := range idx {
+		direct[fd] = directImpurities(pass, fd)
+	}
+
+	for _, fd := range contract {
+		// Report the contract function's own violations at their positions,
+		// and violations of same-package callees at the call site that
+		// reaches them (one hop of blame: the call is what breaks purity
+		// from the contract's point of view).
+		for _, imp := range direct[fd] {
+			pass.Reportf(imp.pos, "%s: %s — the vote must be a pure function of (base, trial, node)", fd.Name.Name, imp.msg)
+		}
+		seen := map[*ast.FuncDecl]bool{fd: true}
+		walkSameFunc(fd.Body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			callee := calleeDecl(pass, idx, call)
+			if callee == nil || seen[callee] {
+				return
+			}
+			if imp, via := findImpure(pass, idx, direct, callee, map[*ast.FuncDecl]bool{fd: true}); imp != nil {
+				seen[callee] = true
+				pass.Reportf(call.Pos(), "%s calls %s, which %s (%s) — the vote must be a pure function of (base, trial, node)",
+					fd.Name.Name, callee.Name.Name, imp.msg, via)
+			}
+		})
+	}
+	return nil
+}
+
+// calleeDecl resolves call to a same-package function declaration, or nil.
+func calleeDecl(pass *Pass, idx funcIndex, call *ast.CallExpr) *ast.FuncDecl {
+	obj := calleeObject(pass.TypesInfo, call)
+	if obj == nil {
+		return nil
+	}
+	return idx[obj]
+}
+
+// findImpure searches fd and its same-package callees depth-first for an
+// impurity, returning the root cause and the function it lives in.
+func findImpure(pass *Pass, idx funcIndex, direct map[*ast.FuncDecl][]impurity, fd *ast.FuncDecl, seen map[*ast.FuncDecl]bool) (*impurity, string) {
+	if seen[fd] {
+		return nil, ""
+	}
+	seen[fd] = true
+	if imps := direct[fd]; len(imps) > 0 {
+		return &imps[0], "in " + fd.Name.Name
+	}
+	var found *impurity
+	via := ""
+	walkSameFunc(fd.Body, func(n ast.Node) {
+		if found != nil {
+			return
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if callee := calleeDecl(pass, idx, call); callee != nil {
+			if imp, v := findImpure(pass, idx, direct, callee, seen); imp != nil {
+				found, via = imp, v
+			}
+		}
+	})
+	return found, via
+}
+
+// directImpurities collects fd's own purity violations: wall-clock reads,
+// global math/rand draws, and package-level variable reads or writes.
+func directImpurities(pass *Pass, fd *ast.FuncDecl) []impurity {
+	var out []impurity
+	walkSameFunc(fd.Body, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			switch CalleeIn(x, pass.TypesInfo, "time") {
+			case "Now", "Since":
+				out = append(out, impurity{x.Pos(), "reads the wall clock"})
+			}
+			if CalleeIn(x, pass.TypesInfo, "math/rand") != "" || CalleeIn(x, pass.TypesInfo, "math/rand/v2") != "" {
+				out = append(out, impurity{x.Pos(), "draws from the shared math/rand stream"})
+			}
+		case *ast.Ident:
+			if obj := packageLevelVar(pass, x); obj != nil {
+				out = append(out, impurity{x.Pos(), "touches mutable package state (" + obj.Name() + ")"})
+			}
+		}
+	})
+	return out
+}
+
+// packageLevelVar returns the object when id resolves to a mutable
+// package-level variable of the package under analysis. Constants,
+// functions, types, locals, fields, and imported names all return nil.
+func packageLevelVar(pass *Pass, id *ast.Ident) types.Object {
+	obj := pass.TypesInfo.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() != pass.Pkg {
+		return nil
+	}
+	if v.Parent() != pass.Pkg.Scope() {
+		return nil // local, parameter, or field
+	}
+	return v
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/unifdist/unifdist/internal/analysis"
+	"github.com/unifdist/unifdist/internal/analysis/analysistest"
+)
+
+func TestVotePure(t *testing.T) {
+	analysistest.Run(t, analysis.VotePure,
+		"votepure/bad",
+		"votepure/allowed",
+		"votepure/good",
+	)
+}

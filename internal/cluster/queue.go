@@ -64,6 +64,7 @@ func newSendQueue(w io.Writer, depth int, policy QueuePolicy, reg *obs.Registry)
 			}
 			q.depth.Add(-1)
 			if q.Err() == nil {
+				//unifvet:allow framecap producers encode via wire.Append*/BatchEncoder before Enqueue; the writer drains opaque pre-capped frames
 				if _, err := w.Write(it.buf); err != nil {
 					q.fail(err)
 				}
