@@ -12,6 +12,7 @@
 //	            [-delay 0] [-fault-seed 1] [-retries 0] [-backoff 5ms]
 //	            [-deadline 10s] [-batch 0] [-compress] [-flush-bytes 8192]
 //	            [-queue 16] [-queue-policy block|drop]
+//	            [-agg 0] [-agg-depth 1]
 //	            [-json] [-journal run.jsonl] [-obs-addr :9090]
 //
 // -batch enables the high-throughput transport: votes coalesce into
@@ -20,6 +21,14 @@
 // the flush/queue flags tune the coalescing watermarks and backpressure
 // policy. None of these change any verdict — batched runs are
 // trial-for-trial identical to unbatched ones.
+//
+// -agg shards the referee behind a hierarchical aggregation tree: the
+// node-ID space splits into contiguous windows of at most -agg children
+// per parent across -agg-depth aggregator tiers, each aggregator folds
+// its window's votes into per-trial partial sums and forwards them
+// upstream as PartialVerdict frames, and the root referee merges the
+// sums. Like batching, the topology reshapes the wire traffic, never the
+// verdicts: tree runs are trial-for-trial identical to the flat star.
 //
 // -json replaces the human-readable summary with the machine-readable run
 // document every other command emits (provenance + results + metrics);
@@ -83,6 +92,8 @@ func run(args []string, stdout io.Writer) error {
 		flushB    = fs.Int("flush-bytes", 0, "flush a pending batch at this encoded size (default 8KiB)")
 		queueLen  = fs.Int("queue", 0, "bounded send-queue depth per node connection (default 16)")
 		queuePol  = fs.String("queue-policy", "block", "full-queue policy: block (backpressure) or drop (shed load)")
+		aggFanout = fs.Int("agg", 0, "shard the referee behind an aggregator tree of this fanout (0 = flat star, ≥ 2 = tree)")
+		aggDepth  = fs.Int("agg-depth", 1, "aggregator tiers between the leaves and the root (requires -agg)")
 		jsonFlag  = fs.Bool("json", false, "emit a machine-readable run document instead of text")
 		jrnlFlag  = fs.String("journal", "", "write per-trial events and trace spans to this JSONL file")
 		obsAddr   = fs.String("obs-addr", "", "serve live /metrics, /healthz, /runz and pprof on this address (e.g. :9090 or 127.0.0.1:0)")
@@ -115,6 +126,12 @@ func run(args []string, stdout io.Writer) error {
 
 	if *compress && *batch < 2 {
 		return fmt.Errorf("-compress requires -batch ≥ 2 (only batch frames are compressed)")
+	}
+	if *aggFanout == 1 || *aggFanout < 0 {
+		return fmt.Errorf("-agg must be 0 (flat star) or an aggregator fanout ≥ 2, got %d", *aggFanout)
+	}
+	if *aggDepth < 1 {
+		return fmt.Errorf("-agg-depth must be ≥ 1, got %d", *aggDepth)
 	}
 	var qp cluster.QueuePolicy
 	switch *queuePol {
@@ -169,6 +186,16 @@ func run(args []string, stdout io.Writer) error {
 		if *queueLen > 0 {
 			prov.Extra["queue_depth"] = fmt.Sprint(*queueLen)
 		}
+	}
+	if *aggFanout >= 2 {
+		// Like batching, the tree topology reshapes the wire traffic — the
+		// root folds PartialVerdict sums instead of raw votes — but never
+		// the verdicts.
+		if prov.Extra == nil {
+			prov.Extra = map[string]string{}
+		}
+		prov.Extra["agg_fanout"] = fmt.Sprint(*aggFanout)
+		prov.Extra["agg_depth"] = fmt.Sprint(*aggDepth)
 	}
 	var journal *obs.Journal
 	if *jrnlFlag != "" {
@@ -226,6 +253,9 @@ func run(args []string, stdout io.Writer) error {
 
 	printf(out, "cluster: rule=%s k=%d n=%d trials=%d transport=%s policy=%s\n",
 		nw.Rule().Name(), nw.K(), *n, *trials, *transport, pol)
+	if *aggFanout >= 2 {
+		printf(out, "topology: aggregation tree, fanout=%d depth=%d\n", *aggFanout, *aggDepth)
+	}
 	printf(out, "input: %s (true distance from uniform: %.4g)\n", d.Name(), dist.L1FromUniform(d))
 	if plan != nil {
 		printf(out, "faults: drop=%.3g dup=%.3g disconnect=%.3g delay=%s seed=%d\n",
@@ -235,10 +265,14 @@ func run(args []string, stdout io.Writer) error {
 	start := time.Now()
 	var rep *cluster.Report
 	var runErr error
-	switch *transport {
-	case "pipe":
+	switch {
+	case *transport == "pipe" && *aggFanout >= 2:
+		rep, runErr = cluster.RunTreePipe(cfg, nw, d, plan, *aggFanout, *aggDepth)
+	case *transport == "tcp" && *aggFanout >= 2:
+		rep, runErr = cluster.RunTreeTCP(cfg, nw, d, plan, *aggFanout, *aggDepth)
+	case *transport == "pipe":
 		rep, runErr = cluster.RunPipe(cfg, nw, d, plan)
-	case "tcp":
+	case *transport == "tcp":
 		rep, runErr = cluster.RunTCP(cfg, nw, d, plan)
 	default:
 		return fmt.Errorf("unknown transport %q", *transport)
@@ -286,6 +320,10 @@ func run(args []string, stdout io.Writer) error {
 	if rep.Stats.BatchFrames > 0 {
 		printf(out, "batching: %d votes in %d batch frames (%d bytes saved by compression)\n",
 			rep.Stats.BatchedVotes, rep.Stats.BatchFrames, rep.Stats.BytesSaved)
+	}
+	if rep.Stats.PartialFrames > 0 {
+		printf(out, "aggregation: %d votes folded from %d partial frames (%d duplicate entries)\n",
+			rep.Stats.PartialVotes, rep.Stats.PartialFrames, rep.Stats.DuplicatePartials)
 	}
 	if rep.Stats.EarlyClosed {
 		printf(out, "session closed early: every verdict was fixed\n")

@@ -484,3 +484,58 @@ func TestBatchedMatchesUnbatchedTCP(t *testing.T) {
 		t.Fatalf("batched TCP throughput %.0f votes/sec below the 5k floor", rate)
 	}
 }
+
+// TestAggTreeMatchesFlatStarTCP is the CI loopback smoke for sharded
+// aggregation: a 2-level TCP aggregator tree over 2000 nodes × 5 trials
+// against the flat star. The decision-relevant report must be
+// byte-identical — partial sums compose the same monoid the flat referee
+// folds vote by vote — and the tree run must clear the same conservative
+// throughput floor as the batching smoke.
+func TestAggTreeMatchesFlatStarTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP aggregation smoke skipped in -short mode")
+	}
+	const votes = 2000 * 5
+	base := []string{"-transport", "tcp", "-k", "2000", "-n", "1024", "-trials", "5", "-seed", "11", "-json"}
+	var flat, tree bytes.Buffer
+	if err := run(base, &flat); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := run(append(base, "-agg", "8", "-agg-depth", "2"), &tree); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if got, want := reportSansStats(t, tree.Bytes()), reportSansStats(t, flat.Bytes()); !bytes.Equal(got, want) {
+		t.Fatalf("tree report diverged from flat star:\ntree: %s\nflat: %s", got, want)
+	}
+	var doc struct {
+		Provenance struct {
+			Extra map[string]string `json:"extra"`
+		} `json:"provenance"`
+		Results struct {
+			Report struct {
+				Stats struct {
+					Votes         int `json:"votes"`
+					PartialFrames int `json:"partial_frames"`
+					PartialVotes  int `json:"partial_votes"`
+				} `json:"stats"`
+			} `json:"report"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(tree.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Results.Report.Stats.Votes != votes || doc.Results.Report.Stats.PartialFrames == 0 ||
+		doc.Results.Report.Stats.PartialVotes != votes {
+		t.Fatalf("tree run folded %d votes (%d via %d partial frames), want all %d via partials",
+			doc.Results.Report.Stats.Votes, doc.Results.Report.Stats.PartialVotes,
+			doc.Results.Report.Stats.PartialFrames, votes)
+	}
+	if doc.Provenance.Extra["agg_fanout"] != "8" || doc.Provenance.Extra["agg_depth"] != "2" {
+		t.Fatalf("provenance did not record the topology: %v", doc.Provenance.Extra)
+	}
+	if rate := float64(votes) / elapsed.Seconds(); rate < 5_000 {
+		t.Fatalf("aggregated TCP throughput %.0f votes/sec below the 5k floor", rate)
+	}
+}

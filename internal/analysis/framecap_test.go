@@ -12,5 +12,7 @@ func TestFrameCap(t *testing.T) {
 		"framecap/cluster/bad",
 		"framecap/cluster/allowed",
 		"framecap/cluster/good",
+		"framecap/cluster/aggbad",
+		"framecap/cluster/agggood",
 	)
 }

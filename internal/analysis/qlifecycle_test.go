@@ -12,5 +12,6 @@ func TestQLifecycle(t *testing.T) {
 		"qlifecycle/cluster/bad",
 		"qlifecycle/cluster/allowed",
 		"qlifecycle/cluster/good",
+		"qlifecycle/cluster/aggfold",
 	)
 }

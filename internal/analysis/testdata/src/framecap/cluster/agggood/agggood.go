@@ -1,0 +1,46 @@
+// Package agggood holds the framecap-clean aggregator upstream forward
+// path: every partial-verdict frame is built by wire.AppendPartial — and
+// rebuilt by it on replay, rather than retained as raw bytes — before it
+// reaches the send queue or the upstream connection.
+package agggood
+
+import (
+	"net"
+
+	"wire"
+)
+
+type sendQueue struct{ pending [][]byte }
+
+func (q *sendQueue) send(frame []byte) {
+	q.pending = append(q.pending, frame)
+}
+
+type entry struct{ trial, votes, rejects byte }
+
+type aggregator struct {
+	q        *sendQueue
+	upstream net.Conn
+	flushed  []entry
+}
+
+// flush encodes the folded batch with the wire constructor and enqueues it.
+func (a *aggregator) flush(batch []entry) {
+	frame := wire.AppendPartial(nil, byte(len(batch)))
+	a.q.send(frame)
+	a.flushed = append(a.flushed, batch...)
+}
+
+// replay re-encodes the retained entries on retry, so a resend after a
+// reconnect goes back through the cap instead of replaying stale bytes.
+func (a *aggregator) replay() {
+	for _, e := range a.flushed {
+		frame := wire.AppendPartial(nil, e.trial)
+		a.upstream.Write(frame)
+	}
+}
+
+// done signals end-of-stream upstream with a constructor-built frame.
+func (a *aggregator) done(id byte) {
+	a.upstream.Write(wire.Append(nil, id))
+}

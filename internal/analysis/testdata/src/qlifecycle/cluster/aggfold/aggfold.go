@@ -1,0 +1,50 @@
+// Package aggfold exercises qlifecycle on the aggregator's fold goroutine:
+// a cond.Wait loop folding completed trials into partial sums. The drain
+// phase sets stop under the lock and broadcasts, so the loop needs a
+// reachable `if stop { return }` after every wakeup.
+package aggfold
+
+import "sync"
+
+type foldState struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []int
+	stop    bool
+}
+
+// startFold is the clean shape: each wakeup snapshots pending under the
+// lock and the stop flag gives the condition-less loop its exit.
+func startFold(s *foldState) {
+	go func() {
+		for {
+			s.mu.Lock()
+			for len(s.pending) == 0 && !s.stop {
+				s.cond.Wait()
+			}
+			batch := s.pending
+			s.pending = nil
+			stop := s.stop
+			s.mu.Unlock()
+			_ = batch
+			if stop {
+				return
+			}
+		}
+	}()
+}
+
+// startFoldLeaky never checks a stop flag: close/drain can broadcast all
+// it wants, the goroutine re-enters cond.Wait and is never joined.
+func startFoldLeaky(s *foldState) {
+	go func() { // want "goroutine loops forever with no shutdown path"
+		for {
+			s.mu.Lock()
+			for len(s.pending) == 0 {
+				s.cond.Wait()
+			}
+			s.pending = nil
+			s.mu.Unlock()
+		}
+	}()
+}

@@ -13,6 +13,11 @@ func AppendTraced(buf []byte, payload byte, trace uint64) []byte {
 	return append(Append(buf, payload), byte(trace))
 }
 
+// AppendPartial appends one cap-checked partial-verdict frame to buf.
+func AppendPartial(buf []byte, payload byte) []byte {
+	return append(buf, 7, payload)
+}
+
 // EncodeBatch encodes votes as one cap-checked batch frame.
 func EncodeBatch(votes []byte) []byte {
 	return append([]byte{2, byte(len(votes))}, votes...)

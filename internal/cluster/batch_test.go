@@ -219,7 +219,7 @@ func (w *blockingWriter) Write(p []byte) (int, error) {
 func TestSendQueueDropPolicyShedsLoad(t *testing.T) {
 	reg := obs.NewRegistry()
 	w := &blockingWriter{release: make(chan struct{})}
-	q := newSendQueue(w, 2, QueueDrop, reg)
+	q := newSendQueue(w, 2, QueueDrop, reg, "cluster")
 	// The writer is stalled: the first frame is in the writer's hands, the
 	// next two fill the queue, everything after is shed.
 	for i := 0; i < 10; i++ {
@@ -242,7 +242,7 @@ func TestSendQueueStickyError(t *testing.T) {
 	// senders and Flush, and must never deadlock.
 	r, wend := net.Pipe()
 	r.Close() // every write now fails
-	q := newSendQueue(wend, 2, QueueBlock, nil)
+	q := newSendQueue(wend, 2, QueueBlock, nil, "cluster")
 	defer q.Close()
 	var sawErr bool
 	for i := 0; i < 20; i++ {
@@ -274,7 +274,7 @@ func TestSendQueueFlushIsBarrier(t *testing.T) {
 			}
 		}
 	}()
-	q := newSendQueue(pw, 4, QueueBlock, nil)
+	q := newSendQueue(pw, 4, QueueBlock, nil, "cluster")
 	for i := 0; i < 9; i++ {
 		if err := q.send([]byte{byte(i)}); err != nil {
 			t.Fatal(err)
@@ -311,7 +311,7 @@ func TestBatcherRespectsFrameCaps(t *testing.T) {
 			}
 		}
 	}()
-	q := newSendQueue(pw, 4, QueueBlock, nil)
+	q := newSendQueue(pw, 4, QueueBlock, nil, "cluster")
 	cfg := Config{Trials: 1, Batch: 4096, FlushBytes: 4096, Sketch: true, DomainN: 1}
 	bt := newBatcher(q, cfg, trace.Context{}, nil)
 	// Wide deltas defeat the delta encoding: every column entry costs ~5

@@ -54,12 +54,16 @@ func benchPayload(node, k, trials, batch int, compress bool) []byte {
 	return wire.AppendTraced(buf, &wire.Done{Node: uint32(node)}, wire.TraceContext{})
 }
 
-// benchSession runs b.N full referee sessions of k synthetic peers each
+// benchSession runs b.N full referee sessions, each synthetic peer
 // replaying its precomputed stream, and reports aggregate votes/sec —
 // the headline throughput number for the high-throughput transport.
+// The peers are the k leaves of a flat star, or — when len(payloads) is
+// smaller — the pre-aggregated children of a sharded tree's root; either
+// way the session folds k*trials votes.
 func benchSession(b *testing.B, k, trials int, payloads [][]byte,
 	transport func() (net.Listener, func() (net.Conn, error)), dialLimit int) {
 	b.ReportAllocs()
+	children := len(payloads)
 	for i := 0; i < b.N; i++ {
 		l, dial := transport()
 		rf := NewReferee(k, benchRule{thr: k}, Config{Trials: trials, Deadline: time.Minute})
@@ -73,8 +77,8 @@ func benchSession(b *testing.B, k, trials int, payloads [][]byte,
 		}()
 		sem := make(chan struct{}, dialLimit)
 		var wg sync.WaitGroup
-		wg.Add(k)
-		for node := 0; node < k; node++ {
+		wg.Add(children)
+		for node := 0; node < children; node++ {
 			go func(p []byte) {
 				defer wg.Done()
 				sem <- struct{}{}
@@ -136,6 +140,180 @@ func BenchmarkRefereePipe(b *testing.B) {
 			benchSession(b, k, c.trials, payloads, pipe, k)
 		})
 	}
+}
+
+// aggChildPayload precomputes one first-tier aggregator's full upstream
+// stream — AggHello, PartialVerdict frames carrying the window's
+// per-trial sums, Done — so BenchmarkAggTree measures the root's ingest
+// of pre-aggregated traffic, not the aggregation itself.
+func aggChildPayload(aggID, lo, hi, k, trials int) []byte {
+	buf := wire.AppendTraced(nil, &wire.AggHello{
+		Agg: uint32(aggID), K: uint32(k), Trials: uint32(trials),
+		Lo: uint32(lo), Hi: uint32(hi),
+	}, wire.TraceContext{})
+	width := hi - lo
+	entries := make([]wire.PartialEntry, 0, trials)
+	for t := 0; t < trials; t++ {
+		// The same (t+node)%3 reject pattern benchPayload uses, pre-summed
+		// over the window.
+		rejects := 0
+		for n := lo; n < hi; n++ {
+			if (t+n)%3 == 0 {
+				rejects++
+			}
+		}
+		entries = append(entries, wire.PartialEntry{
+			Trial: uint32(t), Votes: uint32(width), Rejects: uint32(rejects),
+		})
+	}
+	for len(entries) > 0 {
+		n := len(entries)
+		if n > wire.MaxPartialEntries {
+			n = wire.MaxPartialEntries
+		}
+		out, err := wire.AppendPartial(buf, &wire.PartialVerdict{Agg: uint32(aggID), Entries: entries[:n]}, wire.TraceContext{})
+		if err != nil {
+			panic(err)
+		}
+		buf = out
+		entries = entries[n:]
+	}
+	return wire.AppendTraced(buf, &wire.Done{Node: uint32(aggID)}, wire.TraceContext{})
+}
+
+// BenchmarkAggTree measures the root referee's ingest capacity under the
+// two topologies, same harness and transport: a flat star terminates
+// every leaf's vote stream at the root, a sharded tree terminates only
+// its first-tier aggregators' partial-sum streams there. votes/sec is
+// votes folded into the root's tallies per second of session wall time —
+// the single-server bottleneck the aggregator tier exists to remove. The
+// aggregation work itself scales horizontally across shard servers (and
+// is exercised end-to-end by BenchmarkAggTreeEndToEnd); here the
+// children replay precomputed streams so the number isolates the root.
+func BenchmarkAggTree(b *testing.B) {
+	pipe := func() (net.Listener, func() (net.Conn, error)) {
+		l := NewPipeListener()
+		return l, l.Dial
+	}
+	const trials = 16
+	cases := []struct {
+		name   string
+		k      int
+		fanout int // 0 = flat star (per-frame leaf streams)
+	}{
+		{"flat/k1e4", 10_000, 0},
+		{"fanout8/k1e4", 10_000, 8},
+		{"fanout32/k1e4", 10_000, 32},
+		{"fanout256/k1e4", 10_000, 256},
+		{"flat/k1e5", 100_000, 0},
+		{"fanout8/k1e5", 100_000, 8},
+		{"fanout32/k1e5", 100_000, 32},
+		{"fanout256/k1e5", 100_000, 256},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var payloads [][]byte
+			if c.fanout == 0 {
+				payloads = make([][]byte, c.k)
+				for node := 0; node < c.k; node++ {
+					payloads[node] = benchPayload(node, c.k, trials, 0, false)
+				}
+			} else {
+				payloads = make([][]byte, c.fanout)
+				for a := 0; a < c.fanout; a++ {
+					lo, hi := a*c.k/c.fanout, (a+1)*c.k/c.fanout
+					payloads[a] = aggChildPayload(a, lo, hi, c.k, trials)
+				}
+			}
+			b.ResetTimer()
+			benchSession(b, c.k, trials, payloads, pipe, len(payloads))
+		})
+	}
+}
+
+// BenchmarkAggTreeEndToEnd runs the whole tree in-process — real
+// Aggregator servers folding real leaf streams — against the flat star.
+// On a single machine every tier shares the same cores, so this measures
+// protocol overhead rather than the scale-out win; the root-isolating
+// BenchmarkAggTree is the headline number.
+func BenchmarkAggTreeEndToEnd(b *testing.B) {
+	const k, trials = 10_000, 16
+	const workers = 512
+	run := func(b *testing.B, fanout int) {
+		b.ReportAllocs()
+		payloads := make([][]byte, k)
+		for node := 0; node < k; node++ {
+			payloads[node] = benchPayload(node, k, trials, 0, false)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rootL := NewPipeListener()
+			cfg := Config{Trials: trials, Deadline: time.Minute, Batch: 256}
+			rf := NewReferee(k, benchRule{thr: k}, cfg)
+			repCh := make(chan *Report, 1)
+			go func() {
+				rep, err := rf.Serve(rootL)
+				if err != nil {
+					b.Error(err)
+				}
+				repCh <- rep
+			}()
+			dials := make([]func() (net.Conn, error), k)
+			var aggWG sync.WaitGroup
+			if fanout > 0 {
+				for a := 0; a < fanout; a++ {
+					lo, hi := a*k/fanout, (a+1)*k/fanout
+					aggL := NewPipeListener()
+					agg := &Aggregator{ID: uint32(a), Lo: lo, Hi: hi, K: k, Tier: 1,
+						Dial: rootL.Dial, Config: cfg}
+					aggWG.Add(1)
+					go func() {
+						defer aggWG.Done()
+						if err := agg.Serve(aggL); err != nil {
+							b.Error(err)
+						}
+					}()
+					for n := lo; n < hi; n++ {
+						dials[n] = aggL.Dial
+					}
+				}
+			} else {
+				for n := range dials {
+					dials[n] = rootL.Dial
+				}
+			}
+			// Worker-pool leaves: replay the stream and hang up — the
+			// verdict broadcast to a closed peer is a bounded no-op, and the
+			// pool keeps peak goroutine count independent of k.
+			var wg sync.WaitGroup
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func(w int) {
+					defer wg.Done()
+					for node := w; node < k; node += workers {
+						conn, err := dials[node]()
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := conn.Write(payloads[node]); err != nil {
+							b.Error(err)
+						}
+						conn.Close()
+					}
+				}(w)
+			}
+			wg.Wait()
+			rep := <-repCh
+			aggWG.Wait()
+			if rep == nil || rep.Stats.Votes != k*trials {
+				b.Fatalf("session recorded %d votes, want %d", rep.Stats.Votes, k*trials)
+			}
+		}
+		b.ReportMetric(float64(k*trials)*float64(b.N)/b.Elapsed().Seconds(), "votes/sec")
+	}
+	b.Run("flat", func(b *testing.B) { run(b, 0) })
+	b.Run("fanout32", func(b *testing.B) { run(b, 32) })
 }
 
 // BenchmarkRefereeTCP is the loopback-socket variant. k stays under the

@@ -272,6 +272,13 @@ type RefereeStats struct {
 	BatchFrames  int   `json:"batch_frames,omitempty"`
 	BatchedVotes int   `json:"batched_votes,omitempty"`
 	BytesSaved   int64 `json:"bytes_saved,omitempty"`
+	// PartialFrames counts PartialVerdict frames folded and PartialVotes
+	// the votes they carried (also counted in Votes); DuplicatePartials
+	// the (trial, child) entries deduplicated as retransmissions. All zero
+	// in flat-star sessions.
+	PartialFrames     int `json:"partial_frames,omitempty"`
+	PartialVotes      int `json:"partial_votes,omitempty"`
+	DuplicatePartials int `json:"duplicate_partials,omitempty"`
 	// IdlePeers counts nodes that had finished their stream (Done) and
 	// were idling on the verdict when the session finalized — protocol
 	// state, not wall-clock idleness.

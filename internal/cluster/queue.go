@@ -46,13 +46,16 @@ type queueItem struct {
 }
 
 // newSendQueue starts the writer goroutine for w with the given bound.
-func newSendQueue(w io.Writer, depth int, policy QueuePolicy, reg *obs.Registry) *sendQueue {
+// prefix namespaces the queue's metrics: node clients share "cluster"
+// (cluster.queue_depth), aggregator upstream queues use a per-tier
+// prefix ("agg.tier1", ...) so each tier's depth is a separate gauge.
+func newSendQueue(w io.Writer, depth int, policy QueuePolicy, reg *obs.Registry, prefix string) *sendQueue {
 	q := &sendQueue{
 		items:   make(chan queueItem, depth),
 		free:    make(chan []byte, depth+1),
 		policy:  policy,
-		depth:   reg.Gauge("cluster.queue_depth"),
-		dropped: reg.Counter("cluster.queue_dropped"),
+		depth:   reg.Gauge(prefix + ".queue_depth"),
+		dropped: reg.Counter(prefix + ".queue_dropped"),
 		done:    make(chan struct{}),
 	}
 	go func() {

@@ -9,7 +9,6 @@ import (
 	"sync"
 	"time"
 
-	"github.com/unifdist/unifdist/internal/obs"
 	"github.com/unifdist/unifdist/internal/obs/trace"
 	"github.com/unifdist/unifdist/internal/wire"
 	"github.com/unifdist/unifdist/internal/zeroround"
@@ -20,84 +19,47 @@ import (
 // decision rule incrementally as votes arrive — reusing the rule's
 // EarlyDecider so a trial's verdict is fixed at the earliest possible
 // vote — and finalizes undecided trials through the quorum policy when
-// the session ends.
+// the session ends. The connection-terminating half (accept loop, frame
+// validation, dedup, per-trial fold) is the voteSink shared with the
+// Aggregator; the referee layers the rule and quorum machinery on top
+// through the sink's onTrial hook. Besides raw leaf connections, the
+// sink also terminates aggregator children (AggHello + PartialVerdict
+// partial sums), which fold into the same per-trial tallies — both
+// decision rules are commutative monoids over (votes, rejects), so the
+// merged sums decide exactly as the flat star would.
 //
 // A session ends on the first of: every node sent Done; every trial's
 // verdict is fixed (Config.EarlyClose); or the safety-net deadline
 // expired. At that point the referee broadcasts a wire.Verdict summary to
 // every connected node and closes the transport.
 type Referee struct {
-	k    int
+	voteSink
 	rule zeroround.Rule
 	// early is rule as a zeroround.EarlyDecider, or nil; resolved once.
 	early zeroround.EarlyDecider
-	cfg   Config
-	reg   *obs.Registry
-	m     refereeMetrics
 
-	mu        sync.Mutex
-	voted     []uint64 // (trial, node) bitset, k*trials bits
-	rejects   []int
-	votes     []int
+	// Decision state, guarded by the sink mutex (advance runs under it).
 	missing   []int
 	decided   []bool
 	verdict   []bool
 	early_    []bool // trial fixed by EarlyDecider before all votes
 	undecided int
-	nodeDone  []bool
-	doneCount int
-	conns     []net.Conn
-	closed    bool
-	stats     RefereeStats
-
-	trigger   chan struct{}
-	triggerMu sync.Once
-}
-
-// refereeMetrics caches the hot-path counters so the per-vote path costs
-// one atomic add instead of a registry map lookup per event. All fields
-// no-op when telemetry is off (nil-registry metrics are nil no-ops).
-type refereeMetrics struct {
-	votes      *obs.Counter
-	votesDup   *obs.Counter
-	badFrames  *obs.Counter
-	frames     *obs.Counter
-	batchSaved *obs.Counter // cluster.batch_bytes_saved
-	batchFill  *obs.Histogram
-	dedup      *obs.Gauge
-	peersIdle  *obs.Gauge // cluster.peers_idle: nodes that sent Done
 }
 
 // NewReferee builds a referee for a k-node network deciding with rule.
 func NewReferee(k int, rule zeroround.Rule, cfg Config) *Referee {
 	rf := &Referee{
-		k:         k,
 		rule:      rule,
-		cfg:       cfg,
-		reg:       cfg.Obs,
-		voted:     make([]uint64, (k*cfg.Trials+63)/64),
-		rejects:   make([]int, cfg.Trials),
-		votes:     make([]int, cfg.Trials),
 		missing:   make([]int, cfg.Trials),
 		decided:   make([]bool, cfg.Trials),
 		verdict:   make([]bool, cfg.Trials),
 		early_:    make([]bool, cfg.Trials),
 		undecided: cfg.Trials,
-		nodeDone:  make([]bool, k),
-		trigger:   make(chan struct{}),
 	}
+	rf.voteSink.init(k, 0, k, cfg, "cluster", "referee")
+	rf.onTrial = rf.advance
 	if ed, ok := rule.(zeroround.EarlyDecider); ok {
 		rf.early = ed
-	}
-	rf.m = refereeMetrics{
-		votes:      rf.reg.Counter("cluster.votes"),
-		votesDup:   rf.reg.Counter("cluster.votes_dup"),
-		badFrames:  rf.reg.Counter("cluster.bad_frames"),
-		frames:     rf.reg.Counter("cluster.frames"),
-		batchSaved: rf.reg.Counter("cluster.batch_bytes_saved"),
-		batchFill:  rf.reg.Histogram("cluster.batch_fill", obs.BytesBuckets()),
-		dedup:      rf.reg.Gauge("cluster.dedup_occupancy"),
-		peersIdle:  rf.reg.Gauge("cluster.peers_idle"),
 	}
 	return rf
 }
@@ -120,35 +82,7 @@ func (rf *Referee) Serve(l net.Listener) (*Report, error) {
 	defer rf.reg.Gauge("cluster.sessions_open").Add(-1)
 
 	var wg sync.WaitGroup
-	go func() {
-		for {
-			conn, err := l.Accept()
-			if err != nil {
-				return
-			}
-			rf.mu.Lock()
-			if rf.closed {
-				rf.mu.Unlock()
-				conn.Close()
-				continue
-			}
-			rf.conns = append(rf.conns, conn)
-			rf.stats.Connections++
-			// Add inside the critical section: finalize sets closed under
-			// the same mutex, so no handler can appear after the session
-			// closed and before wg.Wait below.
-			wg.Add(1)
-			rf.mu.Unlock()
-			rf.reg.Counter("cluster.connections").Inc()
-			go func() {
-				defer wg.Done()
-				// Absolute per-connection read bound: a stalled peer cannot
-				// hold its handler past the session deadline.
-				end := time.Now().Add(deadline) //unifvet:allow wallclock connection-deadline safety net; verdicts depend only on which votes arrive
-				rf.handle(conn, end)
-			}()
-		}
-	}()
+	go rf.acceptLoop(l, deadline, &wg)
 
 	select {
 	case <-rf.trigger:
@@ -181,233 +115,11 @@ func (rf *Referee) Serve(l net.Listener) (*Report, error) {
 	return rep, nil
 }
 
-// handle drains one connection's frame stream into the aggregator.
-func (rf *Referee) handle(conn net.Conn, end time.Time) {
-	conn.SetReadDeadline(end)
-	r := wire.NewReader(conn)
-	node := -1 // set by Hello
-	frameBytes := rf.reg.Histogram("cluster.frame_bytes", obs.BytesBuckets())
-	rf.reg.Gauge("cluster.peers_connected").Add(1)
-	defer rf.reg.Gauge("cluster.peers_connected").Add(-1)
-	// Per-frame-type decode and apply latency histograms, resolved once per
-	// connection; nil (and never timed) when telemetry is off, so the hot
-	// path pays no clock reads by default.
-	var decodeNS, applyNS [wire.TypeVoteBatchZ + 1]*obs.Histogram
-	if rf.reg != nil {
-		for t := wire.TypeHello; t <= wire.TypeVoteBatchZ; t++ {
-			name := wire.TypeName(t)
-			decodeNS[t] = rf.reg.Histogram("cluster.decode_ns."+name, obs.LatencyBuckets())
-			applyNS[t] = rf.reg.Histogram("cluster.apply_ns."+name, obs.LatencyBuckets())
-		}
-	}
-	var peerRecv *obs.Counter // resolved after Hello identifies the peer
-	// Per-connection decode scratch: steady-state vote and batch decoding
-	// reuses these buffers, so the hot loop does not allocate per frame.
-	var sc wire.DecodeScratch
-	for {
-		body, err := r.ReadBody()
-		if err != nil {
-			// EOF, peer close, injected disconnect, or framing error:
-			// framing errors count as a bad frame, transport ends either way.
-			if !isClosedErr(err) {
-				rf.countBadFrame()
-			}
-			return
-		}
-		var t0 time.Time
-		if rf.reg != nil {
-			t0 = time.Now() //unifvet:allow wallclock latency histogram sample; enabled only with telemetry, never read by decisions
-		}
-		f, tc, err := wire.DecodeBodyScratch(body, &sc)
-		if err != nil {
-			// Codec error: count it and end the transport, as before the
-			// read/decode split.
-			rf.countBadFrame()
-			return
-		}
-		ft := f.Type()
-		// A compressed batch decodes to the same VoteBatch frame; attribute
-		// its latency samples to the votebatchz series.
-		if vb, ok := f.(*wire.VoteBatch); ok && vb.Compressed {
-			ft = wire.TypeVoteBatchZ
-		}
-		if rf.reg != nil && int(ft) < len(decodeNS) {
-			decodeNS[ft].Observe(int64(time.Since(t0))) //unifvet:allow wallclock latency histogram sample; enabled only with telemetry, never read by decisions
-			t0 = time.Now()                             //unifvet:allow wallclock latency histogram sample; enabled only with telemetry, never read by decisions
-		}
-		// Wire bytes as received: the frame body plus the length prefix.
-		// (EncodedSizeTraced would re-encode raw and misreport compressed
-		// batches.)
-		n := len(body) + 4
-		frameBytes.Observe(int64(n))
-		rf.mu.Lock()
-		rf.stats.Frames++
-		rf.stats.Bytes += int64(n)
-		rf.mu.Unlock()
-		rf.m.frames.Inc()
-		peerRecv.Inc()
-
-		switch m := f.(type) {
-		case *wire.Hello:
-			if int(m.K) != rf.k || int(m.Trials) != rf.cfg.Trials || int(m.Node) >= rf.k {
-				rf.countBadFrame()
-				conn.Close()
-				return
-			}
-			node = int(m.Node)
-			if rf.reg != nil {
-				peerRecv = rf.reg.Counter(fmt.Sprintf("cluster.peer.%d.recv", node))
-				peerRecv.Inc() // the Hello itself
-			}
-		case *wire.Vote:
-			if node < 0 || int(m.Node) != node {
-				rf.countBadFrame()
-				continue
-			}
-			rf.apply(int(m.Trial), node, m.Reject, tc)
-		case *wire.Sketch:
-			if node < 0 || int(m.Node) != node {
-				rf.countBadFrame()
-				continue
-			}
-			// Single-collision vote derived server-side: reject iff the
-			// node saw any colliding pair.
-			rf.apply(int(m.Trial), node, m.Collisions > 0, tc)
-		case *wire.VoteBatch:
-			if node < 0 {
-				rf.countBadFrame()
-				continue
-			}
-			ok := true
-			for i := range m.Votes {
-				if int(m.Votes[i].Node) != node {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				// A batch smuggling another node's votes is rejected whole,
-				// like a mismatched single-vote frame.
-				rf.countBadFrame()
-				continue
-			}
-			rf.applyBatch(m, node, tc)
-		case *wire.Done:
-			if node < 0 || int(m.Node) != node {
-				rf.countBadFrame()
-				continue
-			}
-			rf.markDone(node)
-			if rf.reg != nil && int(ft) < len(applyNS) {
-				applyNS[ft].Observe(int64(time.Since(t0))) //unifvet:allow wallclock latency histogram sample; enabled only with telemetry, never read by decisions
-			}
-			// The node sends nothing further; keep the connection open for
-			// the verdict broadcast and release the handler.
-			return
-		default:
-			rf.countBadFrame()
-		}
-		if rf.reg != nil && int(ft) < len(applyNS) {
-			applyNS[ft].Observe(int64(time.Since(t0))) //unifvet:allow wallclock latency histogram sample; enabled only with telemetry, never read by decisions
-		}
-	}
-}
-
-// apply records one vote under a referee.apply span parented on the frame's
-// wire trace context, linking the referee's side of the trace to the node's
-// send span across the connection.
-func (rf *Referee) apply(trial, node int, reject bool, tc wire.TraceContext) {
-	if !rf.cfg.Trace.Enabled() {
-		rf.record(trial, node, reject)
-		return
-	}
-	sp := rf.cfg.Trace.Start("referee.apply",
-		trace.Context{Trace: trace.ID(tc.Trace), Span: trace.ID(tc.Span)},
-		trace.A("trial", trial), trace.A("node", node))
-	rf.record(trial, node, reject)
-	sp.End()
-}
-
-// applyBatch records a whole VoteBatch under one mutex acquisition: the
-// incremental rule, dedup bitset and quorum bookkeeping see the batch as
-// the same sequence of per-vote record calls the unbatched path makes,
-// just without k lock round-trips. When tracing is on, the batch gets an
-// apply span parented on the frame's wire context, and each vote a
-// derived child span — so a batched trace keeps per-vote granularity.
-func (rf *Referee) applyBatch(b *wire.VoteBatch, node int, tc wire.TraceContext) {
-	var sp *trace.Span
-	ctx := trace.Context{Trace: trace.ID(tc.Trace), Span: trace.ID(tc.Span)}
-	if rf.cfg.Trace.Enabled() {
-		sp = rf.cfg.Trace.Start("referee.applybatch", ctx,
-			trace.A("node", node), trace.A("votes", len(b.Votes)),
-			trace.A("compressed", b.Compressed))
-		ctx = sp.Context()
-	}
-	rf.mu.Lock()
-	if !rf.closed {
-		rf.stats.BatchFrames++
-		rf.stats.BatchedVotes += len(b.Votes)
-		rf.stats.BytesSaved += int64(b.Saved)
-		for i := range b.Votes {
-			v := &b.Votes[i]
-			reject := v.Reject
-			if b.Sketch {
-				reject = v.Collisions > 0
-			}
-			rf.recordLocked(int(v.Trial), node, reject)
-		}
-	}
-	rf.mu.Unlock()
-	rf.m.batchFill.Observe(int64(len(b.Votes)))
-	rf.m.batchSaved.Add(int64(b.Saved))
-	if sp != nil {
-		for i := range b.Votes {
-			v := &b.Votes[i]
-			vsp := rf.cfg.Trace.StartID("referee.apply",
-				trace.Derive("referee.apply", uint64(ctx.Trace), uint64(v.Trial), uint64(node)),
-				ctx, trace.A("trial", int(v.Trial)), trace.A("node", node))
-			vsp.End()
-		}
-		sp.End()
-	}
-}
-
-// record registers one deduplicated vote and advances the trial's
-// incremental decision.
-func (rf *Referee) record(trial, node int, reject bool) {
-	rf.mu.Lock()
-	defer rf.mu.Unlock()
-	if rf.closed {
-		return
-	}
-	rf.recordLocked(trial, node, reject)
-}
-
-// recordLocked is record's body; callers hold rf.mu and have checked
-// rf.closed.
-func (rf *Referee) recordLocked(trial, node int, reject bool) {
-	if trial < 0 || trial >= rf.cfg.Trials {
-		rf.stats.BadFrames++
-		rf.m.badFrames.Inc()
-		return
-	}
-	idx := trial*rf.k + node
-	if rf.voted[idx/64]&(1<<(idx%64)) != 0 {
-		rf.stats.DuplicateVotes++
-		rf.m.votesDup.Inc()
-		return
-	}
-	rf.voted[idx/64] |= 1 << (idx % 64)
-	rf.votes[trial]++
-	if reject {
-		rf.rejects[trial]++
-	}
-	rf.stats.Votes++
-	rf.m.votes.Inc()
-	// Fraction of the (trial, node) dedup bitset that is set — a live
-	// progress probe for the export server.
-	rf.m.dedup.Set(float64(rf.stats.Votes) / float64(rf.k*rf.cfg.Trials))
-
+// advance runs the incremental decision for one trial; the sink invokes
+// it under its mutex after every fold — a direct vote or a partial-sum
+// entry — so EarlyDecider short-circuiting fires from partial counts
+// exactly as it does from raw votes.
+func (rf *Referee) advance(trial int) {
 	if rf.decided[trial] {
 		return
 	}
@@ -421,7 +133,7 @@ func (rf *Referee) recordLocked(trial, node int, reject bool) {
 	}
 }
 
-// settle fixes a trial's verdict; callers hold rf.mu.
+// settle fixes a trial's verdict; callers hold the sink mutex.
 func (rf *Referee) settle(trial int, accept, early bool) {
 	rf.decided[trial] = true
 	rf.verdict[trial] = accept
@@ -431,37 +143,6 @@ func (rf *Referee) settle(trial int, accept, early bool) {
 		rf.stats.EarlyClosed = true
 		rf.fire()
 	}
-}
-
-// markDone registers a node's Done marker; the session ends when all k
-// nodes reported done.
-func (rf *Referee) markDone(node int) {
-	rf.mu.Lock()
-	defer rf.mu.Unlock()
-	if rf.closed || rf.nodeDone[node] {
-		return
-	}
-	rf.nodeDone[node] = true
-	rf.doneCount++
-	// Idle-peer accounting: a node that sent Done holds its connection
-	// open only for the verdict broadcast.
-	rf.m.peersIdle.Add(1)
-	if rf.doneCount == rf.k {
-		rf.fire()
-	}
-}
-
-// fire triggers session finalization once; callers hold rf.mu.
-func (rf *Referee) fire() {
-	rf.triggerMu.Do(func() { close(rf.trigger) })
-}
-
-// countBadFrame tallies a rejected frame.
-func (rf *Referee) countBadFrame() {
-	rf.mu.Lock()
-	rf.stats.BadFrames++
-	rf.mu.Unlock()
-	rf.reg.Counter("cluster.bad_frames").Inc()
 }
 
 // finalize decides the remaining trials via the quorum policy and

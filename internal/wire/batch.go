@@ -352,14 +352,14 @@ func (e *BatchEncoder) Append(dst []byte, b *VoteBatch, tc TraceContext, compres
 			e.comp = comp
 			zsize := uvarintLen(uint64(size)) + len(comp)
 			if zsize < size && e.roundTrips(comp, size) {
-				return appendBatchFrame(dst, TypeVoteBatchZ, zsize, func(d []byte) []byte {
+				return appendFlaggedFrame(dst, BatchVersion, TypeVoteBatchZ, zsize, func(d []byte) []byte {
 					d = binary.AppendUvarint(d, uint64(size))
 					return append(d, comp...)
 				}, tc), nil
 			}
 		}
 		// Raw fallback, reusing the already-encoded payload.
-		return appendBatchFrame(dst, TypeVoteBatch, size, func(d []byte) []byte {
+		return appendFlaggedFrame(dst, BatchVersion, TypeVoteBatch, size, func(d []byte) []byte {
 			return append(d, e.raw...)
 		}, tc), nil
 	}

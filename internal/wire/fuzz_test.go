@@ -243,6 +243,122 @@ func FuzzVoteBatchRoundTrip(f *testing.F) {
 	})
 }
 
+// advPartialEntries builds adversarial partial entries from a seed:
+// trial/votes/rejects jump across the u32 range (worst-case deltas) and
+// sketch sums across the u64 range, always keeping the per-entry validity
+// the decoder enforces (votes ≥ 1, rejects ≤ votes).
+func advPartialEntries(seed uint64, n int, sketch bool) []PartialEntry {
+	es := make([]PartialEntry, n)
+	s := seed
+	for i := range es {
+		s = s*6364136223846793005 + 1442695040888963407
+		e := &es[i]
+		e.Trial = uint32(s >> 32)
+		e.Votes = uint32(s)%1000 + 1
+		e.Rejects = uint32(s>>16) % (e.Votes + 1)
+		if sketch {
+			s = s*6364136223846793005 + 1442695040888963407
+			e.Samples = s
+			e.Collisions = s >> 7
+		}
+	}
+	return es
+}
+
+// FuzzPartialVerdictRoundTrip drives the aggregation-tier codec from both
+// ends: fuzzed partial verdicts (typical and adversarial shapes, traced
+// and untraced, vote and sketch mode) must round-trip losslessly with
+// decode→re-encode byte equality; fuzzed raw bytes framed as v4 bodies
+// must decode canonically or fail with typed errors — never panic — with
+// the entry-count and frame-size caps enforced.
+func FuzzPartialVerdictRoundTrip(f *testing.F) {
+	f.Add(uint16(1), uint32(0), uint64(0), false, []byte{})
+	f.Add(uint16(64), uint32(3), uint64(7), true, []byte{0, 1, 2})
+	f.Add(uint16(500), uint32(9), uint64(2), false, AppendTraced(nil, &AggHello{Agg: 1, K: 8, Trials: 4, Lo: 0, Hi: 4}, TraceContext{})[4:])
+	f.Add(uint16(2048), uint32(1), uint64(5), true, []byte{4, 9, 0, 0, 0, 1, 0, 1, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, count uint16, agg uint32, seed uint64, sketch bool, raw []byte) {
+		n := int(count)%MaxPartialEntries + 1
+		p := &PartialVerdict{Agg: agg, Sketch: sketch}
+		if seed%2 == 0 {
+			// Typical shape: consecutive trials, near-constant sums.
+			p.Entries = make([]PartialEntry, n)
+			for i := range p.Entries {
+				e := &p.Entries[i]
+				e.Trial = uint32(i)
+				e.Votes = uint32(seed%64) + 1
+				e.Rejects = uint32((seed + uint64(i))) % (e.Votes + 1)
+				if sketch {
+					e.Samples = uint64(e.Votes) * 48
+					e.Collisions = uint64(i % 3)
+				}
+			}
+		} else {
+			p.Entries = advPartialEntries(seed, n, sketch)
+		}
+		tc := TraceContext{Trace: seed | 1, Span: seed >> 1}
+		for _, ctx := range []TraceContext{{}, tc} {
+			enc, err := AppendPartial(nil, p, ctx)
+			if err != nil {
+				t.Fatalf("encode %d entries: %v", n, err)
+			}
+			if len(enc)-4 > MaxBatchFrameBytes {
+				t.Fatalf("partial frame body %d bytes exceeds cap", len(enc)-4)
+			}
+			got, gotTC, consumed, err := DecodeTraced(enc)
+			if err != nil {
+				t.Fatalf("decode own encoding: %v", err)
+			}
+			pv := got.(*PartialVerdict)
+			if consumed != len(enc) || gotTC != ctx || pv.Sketch != p.Sketch || !reflect.DeepEqual(pv.Entries, p.Entries) {
+				t.Fatal("partial round trip mismatch")
+			}
+			// Partial frames are bijective: decode→re-encode is identity.
+			if re := AppendTraced(nil, pv, ctx); !bytes.Equal(re, enc) {
+				t.Fatalf("partial re-encode mismatch: %x vs %x", re, enc)
+			}
+		}
+		// Cap enforcement survives fuzzing.
+		over := &PartialVerdict{Agg: agg, Entries: make([]PartialEntry, MaxPartialEntries+1)}
+		if _, err := AppendPartial(nil, over, TraceContext{}); !errors.Is(err, ErrOversize) {
+			t.Fatalf("oversize partial: err = %v", err)
+		}
+
+		// Adversarial path: raw bytes framed as each v4 type must decode
+		// canonically or fail typed.
+		var sc DecodeScratch
+		for _, typ := range []byte{TypeAggHello, TypePartialVerdict, TypePartialVerdict | 0x80} {
+			body := append([]byte{PartialVersion, typ}, raw...)
+			if len(body) > MaxBatchFrameBytes {
+				body = body[:MaxBatchFrameBytes]
+			}
+			fr, ftc, err := DecodeBodyScratch(body, &sc)
+			if err == nil {
+				if pv, ok := fr.(*PartialVerdict); ok {
+					if len(pv.Entries) == 0 || len(pv.Entries) > MaxPartialEntries {
+						t.Fatalf("decoded partial with %d entries", len(pv.Entries))
+					}
+				}
+				// Every decodable v4 body is canonical: re-encoding the frame
+				// with its trace context reproduces the exact input bytes.
+				re := AppendTraced(nil, fr, ftc)
+				if !bytes.Equal(re[4:], body) {
+					t.Fatalf("adversarial %s not canonical: %x vs %x", TypeName(typ&^0x80), re[4:], body)
+				}
+				continue
+			}
+			for _, known := range []error{ErrTruncated, ErrOversize, ErrVersion, ErrUnknownType, ErrFrameSize, ErrTraceContext} {
+				if errors.Is(err, known) {
+					err = nil
+					break
+				}
+			}
+			if err != nil {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+		}
+	})
+}
+
 // FuzzCompressRoundTrip pins the compressor's contract on arbitrary
 // blocks: compression is deterministic, only reported when it strictly
 // shrinks the input (incompressible and sub-threshold blocks return nil),

@@ -9,18 +9,20 @@
 //	[4-byte big-endian frame length][1-byte version][1-byte type][payload]
 //
 // where the length counts the version, type and payload bytes (not the
-// prefix itself). Three versions are in play: version 1 frames carry the
+// prefix itself). Four versions are in play: version 1 frames carry the
 // bare payload; version 2 frames append a 16-byte trace context (trace ID +
 // span ID, both big-endian uint64, trace ID nonzero) that links the frame
 // into the telemetry plane's distributed trace; version 3 frames carry the
 // batch types (VoteBatch, and its compressed form) whose type byte's high
-// bit flags an optional trace-context suffix. The encoder stamps the lowest
-// version that can represent a frame — untraced single-vote traffic is
-// byte-identical to the pre-trace protocol, traced single-vote traffic is
-// byte-identical to v2 — and the decoder accepts all three, rejecting
-// anything newer with ErrVersion. Each frame has exactly one valid version
-// (batch types only at v3, everything else at v1/v2), so every message
-// keeps a single canonical byte representation. Trace context is
+// bit flags an optional trace-context suffix; version 4 frames carry the
+// aggregation-tier types (AggHello, PartialVerdict — partial.go) with the
+// same high-bit trace flagging. The encoder stamps the lowest version that
+// can represent a frame — untraced single-vote traffic is byte-identical to
+// the pre-trace protocol, traced single-vote traffic is byte-identical to
+// v2 — and the decoder accepts all four, rejecting anything newer with
+// ErrVersion. Each frame has exactly one valid version (batch types only at
+// v3, aggregation types only at v4, everything else at v1/v2), so every
+// message keeps a single canonical byte representation. Trace context is
 // observability metadata only: the referee's verdicts never depend on it.
 //
 // Single-vote frames are tiny and fixed-size per type; the decoder
@@ -47,15 +49,21 @@ import (
 	"io"
 )
 
-// Version is the current protocol version: version-3 frames carry the
-// batch types. The encoder stamps each frame at the lowest version that
-// can represent it (see TraceVersion), so old frame types never encode at
-// v3 and old decoders keep accepting untraced/traced single-vote traffic.
-const Version = 3
+// Version is the current protocol version: version-4 frames carry the
+// aggregation-tier types. The encoder stamps each frame at the lowest
+// version that can represent it (see TraceVersion), so old frame types
+// never encode at v3/v4 and old decoders keep accepting untraced/traced
+// single-vote traffic.
+const Version = 4
 
 // BatchVersion is the version byte of batch frames (VoteBatch and its
 // compressed form). Batch types are only legal at this version.
 const BatchVersion = 3
+
+// PartialVersion is the version byte of the aggregation-tier frames
+// (AggHello, PartialVerdict). They are only legal at this version and
+// flag their optional trace suffix through the type byte like v3.
+const PartialVersion = 4
 
 // TraceVersion is the version stamped on traced single-vote frames: the
 // payload followed by a 16-byte TraceContext suffix. Untraced single-vote
@@ -85,7 +93,7 @@ const MaxBatchFrameBytes = 1 << 17
 // MaxFrameBytes for everything else (including unknown types, which are
 // rejected before the cap matters).
 func FrameCap(t byte) int {
-	if t == TypeVoteBatch || t == TypeVoteBatchZ {
+	if t == TypeVoteBatch || t == TypeVoteBatchZ || t == TypePartialVerdict {
 		return MaxBatchFrameBytes
 	}
 	return MaxFrameBytes
@@ -130,6 +138,12 @@ const (
 	// TypeVoteBatchZ is a VoteBatch whose payload is block-compressed
 	// (compress.go); only emitted when compression actually saves bytes.
 	TypeVoteBatchZ
+	// TypeAggHello opens an aggregator's upstream session, announcing the
+	// node-ID window it terminates (partial.go).
+	TypeAggHello
+	// TypePartialVerdict carries an aggregator's per-trial partial sums
+	// upstream (partial.go).
+	TypePartialVerdict
 )
 
 // traceFlag is the high bit of a BatchVersion frame's type byte: set when
@@ -155,6 +169,10 @@ func TypeName(t byte) string {
 		return "votebatch"
 	case TypeVoteBatchZ:
 		return "votebatchz"
+	case TypeAggHello:
+		return "agghello"
+	case TypePartialVerdict:
+		return "partialverdict"
 	default:
 		return fmt.Sprintf("type%d", t)
 	}
@@ -346,8 +364,11 @@ func Append(dst []byte, f Frame) []byte {
 // BatchVersion). Batch frames encode their raw (uncompressed) form here;
 // use a BatchEncoder to opportunistically compress.
 func AppendTraced(dst []byte, f Frame, tc TraceContext) []byte {
-	if t := f.Type(); t == TypeVoteBatch || t == TypeVoteBatchZ {
-		return appendBatchFrame(dst, t, f.payloadSize(), f.appendPayload, tc)
+	switch t := f.Type(); t {
+	case TypeVoteBatch, TypeVoteBatchZ:
+		return appendFlaggedFrame(dst, BatchVersion, t, f.payloadSize(), f.appendPayload, tc)
+	case TypeAggHello, TypePartialVerdict:
+		return appendFlaggedFrame(dst, PartialVersion, t, f.payloadSize(), f.appendPayload, tc)
 	}
 	if tc.IsZero() {
 		n := 2 + f.payloadSize() // version + type + payload
@@ -363,10 +384,11 @@ func AppendTraced(dst []byte, f Frame, tc TraceContext) []byte {
 	return binary.BigEndian.AppendUint64(dst, tc.Span)
 }
 
-// appendBatchFrame writes a BatchVersion frame: the payload producer is a
-// callback so both raw VoteBatch encoding and pre-compressed payloads share
-// the header/suffix logic.
-func appendBatchFrame(dst []byte, typ byte, size int, payload func([]byte) []byte, tc TraceContext) []byte {
+// appendFlaggedFrame writes a frame whose type byte's high bit flags the
+// trace suffix (batch and aggregation versions): the payload producer is a
+// callback so raw VoteBatch encoding, pre-compressed payloads and partial
+// verdicts all share the header/suffix logic.
+func appendFlaggedFrame(dst []byte, version, typ byte, size int, payload func([]byte) []byte, tc TraceContext) []byte {
 	n := 2 + size
 	t := typ
 	if !tc.IsZero() {
@@ -374,7 +396,7 @@ func appendBatchFrame(dst []byte, typ byte, size int, payload func([]byte) []byt
 		t |= traceFlag
 	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
-	dst = append(dst, BatchVersion, t)
+	dst = append(dst, version, t)
 	dst = payload(dst)
 	if !tc.IsZero() {
 		dst = binary.BigEndian.AppendUint64(dst, tc.Trace)
@@ -440,6 +462,9 @@ type DecodeScratch struct {
 	done    Done
 	verdict Verdict
 	batch   VoteBatch
+	// aggHello and partial back the aggregation-tier frame types.
+	aggHello AggHello
+	partial  PartialVerdict
 	// zbuf holds a decompressed batch payload between decodes.
 	zbuf []byte
 }
@@ -454,6 +479,9 @@ func decodeBody(body []byte, sc *DecodeScratch) (Frame, TraceContext, error) {
 	}
 	if v == BatchVersion {
 		return decodeBatchBody(body, sc)
+	}
+	if v == PartialVersion {
+		return decodePartialBody(body, sc)
 	}
 	// The scratch-held values avoid a per-frame allocation on the referee's
 	// hot decode loop; decodePayload writes every field (all payloads are
@@ -493,6 +521,9 @@ func decodeBody(body []byte, sc *DecodeScratch) (Frame, TraceContext, error) {
 	case TypeVoteBatch, TypeVoteBatchZ:
 		return nil, TraceContext{}, fmt.Errorf("%w: batch type %d requires v%d, got v%d",
 			ErrVersion, t, BatchVersion, v)
+	case TypeAggHello, TypePartialVerdict:
+		return nil, TraceContext{}, fmt.Errorf("%w: aggregation type %d requires v%d, got v%d",
+			ErrVersion, t, PartialVersion, v)
 	default:
 		return nil, TraceContext{}, fmt.Errorf("%w: type %d", ErrUnknownType, t)
 	}
@@ -528,9 +559,9 @@ func decodeBatchBody(body []byte, sc *DecodeScratch) (Frame, TraceContext, error
 	t := body[1]
 	base := t &^ traceFlag
 	if base != TypeVoteBatch && base != TypeVoteBatchZ {
-		if base == TypeHello || base == TypeVote || base == TypeSketch || base == TypeDone || base == TypeVerdict {
-			// Old types have exactly one valid version; re-encoding them at
-			// v3 would break the canonical-bytes invariant.
+		if base >= TypeHello && base <= TypePartialVerdict {
+			// Every type has exactly one valid version; re-encoding another
+			// type at v3 would break the canonical-bytes invariant.
 			return nil, TraceContext{}, fmt.Errorf("%w: type %d not valid at v%d", ErrVersion, base, BatchVersion)
 		}
 		return nil, TraceContext{}, fmt.Errorf("%w: type %d", ErrUnknownType, base)
