@@ -15,6 +15,24 @@
 //	            [-agg 0] [-agg-depth 1]
 //	            [-json] [-journal run.jsonl] [-obs-addr :9090]
 //
+//	unifcluster serve  [-addr 127.0.0.1:4600] [-max-sessions 16]
+//	                   [-tenant-budget 0] [-max-k 0] [-max-trials 0]
+//	                   [-deadline 10s] [-reap 250ms] [-workers 4]
+//	                   [-quantum 32] [-queue 64] [-journal-dir DIR]
+//	                   [-obs-addr :9090]
+//	unifcluster submit [-addr 127.0.0.1:4600] [-tenant 1] [-default]
+//	                   [run flags: -rule -k -n -eps -dist -trials -seed
+//	                   -sketch -early -batch -compress -drop -dup
+//	                   -disconnect -delay -fault-seed -retries -backoff
+//	                   -json]
+//
+// serve runs the long-lived multi-tenant session service: one listener
+// multiplexing many concurrent testing sessions, each admitted via wire
+// v5 SessionOpen with per-tenant quotas, folded by an isolated referee,
+// and answered with a SessionReport. submit is the client side: it opens
+// a session, runs k node clients against the service, and prints (or
+// emits as -json) the same report the legacy single-run mode produces.
+//
 // -batch enables the high-throughput transport: votes coalesce into
 // VoteBatch frames behind a bounded per-connection send queue, -compress
 // additionally compresses batch frames when that saves wire bytes, and
@@ -66,6 +84,16 @@ func main() {
 }
 
 func run(args []string, stdout io.Writer) error {
+	// Subcommands first; a leading flag (or nothing) selects the legacy
+	// single-run mode, unchanged.
+	if len(args) > 0 {
+		switch args[0] {
+		case "serve":
+			return runServe(args[1:], stdout)
+		case "submit":
+			return runSubmit(args[1:], stdout)
+		}
+	}
 	fs := flag.NewFlagSet("unifcluster", flag.ContinueOnError)
 	var (
 		ruleName  = fs.String("rule", "threshold", "decision rule: threshold (Thm 1.2) or and (Thm 1.1)")

@@ -14,5 +14,6 @@ func TestFrameCap(t *testing.T) {
 		"framecap/cluster/good",
 		"framecap/cluster/aggbad",
 		"framecap/cluster/agggood",
+		"framecap/cluster/sessfwd",
 	)
 }

@@ -13,5 +13,6 @@ func TestQLifecycle(t *testing.T) {
 		"qlifecycle/cluster/allowed",
 		"qlifecycle/cluster/good",
 		"qlifecycle/cluster/aggfold",
+		"qlifecycle/cluster/reaper",
 	)
 }

@@ -1,0 +1,55 @@
+// Package reaper mirrors the session service's lifecycle goroutines:
+// the stalled-session reaper (ticker loop with a stop clause), the
+// per-session waiter (single select, no loop), and the leak qlifecycle
+// must catch — a sweep loop with no reachable shutdown path.
+package reaper
+
+import "time"
+
+type service struct {
+	stop  chan struct{}
+	stale []int
+}
+
+func (s *service) sweep() { s.stale = s.stale[:0] }
+
+// reap is the canonical reaper shape: the select's stop clause returns,
+// so the ticker loop has a reachable exit.
+func (s *service) reap(interval time.Duration) {
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.sweep()
+			}
+		}
+	}()
+}
+
+// wait is the per-session waiter: one select over the session's
+// terminal events, no loop at all.
+func (s *service) wait(decided, closed chan struct{}, finish func()) {
+	go func() {
+		select {
+		case <-decided:
+		case <-closed:
+		case <-s.stop:
+		}
+		finish()
+	}()
+}
+
+// leakyReap sweeps on every tick with no stop clause anywhere — the
+// goroutine outlives every session and the service itself.
+func leakyReap(tick <-chan time.Time, sweep func()) {
+	go func() { // want "goroutine loops forever with no shutdown path"
+		for {
+			<-tick
+			sweep()
+		}
+	}()
+}

@@ -13,6 +13,11 @@ func AppendTraced(buf []byte, payload byte, trace uint64) []byte {
 	return append(Append(buf, payload), byte(trace))
 }
 
+// AppendSession appends one cap-checked, session-stamped frame to buf.
+func AppendSession(buf []byte, payload byte, session uint64) []byte {
+	return append(Append(buf, payload), byte(session))
+}
+
 // AppendPartial appends one cap-checked partial-verdict frame to buf.
 func AppendPartial(buf []byte, payload byte) []byte {
 	return append(buf, 7, payload)

@@ -259,7 +259,7 @@ func (a *Aggregator) flushPartial(sess trace.Context, entries []wire.PartialEntr
 		trace.A("agg", int(a.ID)), trace.A("entries", len(entries)))
 	ctx := sp.Context()
 	pv := &wire.PartialVerdict{Agg: a.ID, Sketch: a.samples != nil, Entries: entries}
-	buf, err := wire.AppendPartial(a.q.buffer(), pv,
+	buf, err := wire.AppendPartialSession(a.q.buffer(), pv, a.cfg.Session,
 		wire.TraceContext{Trace: uint64(ctx.Trace), Span: uint64(ctx.Span)})
 	if err == nil {
 		err = a.q.send(buf)
@@ -301,7 +301,7 @@ func (a *Aggregator) dialUpstream(sess trace.Context, deadline time.Duration) er
 		fmt.Sprintf("agg.tier%d", a.Tier))
 	hello := &wire.AggHello{Agg: a.ID, K: uint32(a.K), Trials: uint32(a.cfg.Trials),
 		Lo: uint32(a.Lo), Hi: uint32(a.Hi)}
-	buf := wire.AppendTraced(q.buffer(), hello,
+	buf := wire.AppendSession(q.buffer(), hello, a.cfg.Session,
 		wire.TraceContext{Trace: uint64(sess.Trace), Span: uint64(sess.Span)})
 	if err := q.send(buf); err != nil {
 		q.Close()
@@ -385,7 +385,7 @@ func (a *Aggregator) replay(sess trace.Context) error {
 			trace.A("agg", int(a.ID)), trace.A("entries", n), trace.A("replay", true))
 		ctx := sp.Context()
 		pv := &wire.PartialVerdict{Agg: a.ID, Sketch: a.samples != nil, Entries: log[:n]}
-		buf, err := wire.AppendPartial(a.q.buffer(), pv,
+		buf, err := wire.AppendPartialSession(a.q.buffer(), pv, a.cfg.Session,
 			wire.TraceContext{Trace: uint64(ctx.Trace), Span: uint64(ctx.Span)})
 		if err == nil {
 			err = a.q.send(buf)
@@ -416,7 +416,7 @@ func (a *Aggregator) finishUpstream() (wire.Verdict, error) {
 	if ferr != nil {
 		return wire.Verdict{}, ferr
 	}
-	buf := wire.Append(a.q.buffer(), &wire.Done{Node: a.ID})
+	buf := wire.AppendSession(a.q.buffer(), &wire.Done{Node: a.ID}, a.cfg.Session, wire.TraceContext{})
 	err := a.q.send(buf)
 	if err == nil {
 		err = a.q.Flush()

@@ -167,6 +167,19 @@ type Config struct {
 	// shedding when it fills.
 	QueueDepth  int
 	QueuePolicy QueuePolicy
+	// Session binds every frame this configuration sends — and every frame
+	// its referee accepts — to a wire v5 session ID. 0, the default, keeps
+	// the classic single-session encoding (byte-identical to codec ≤ v4).
+	// The multi-tenant service (internal/cluster/service) assigns nonzero
+	// IDs so many concurrent sessions share one transport endpoint; the
+	// referee rejects frames whose session does not match as bad frames.
+	Session uint32
+	// MetricSuffix, when non-empty, is appended verbatim to every sink
+	// metric name (e.g. ";session=3"), which the Prometheus exporter
+	// (internal/obs/export) renders as labels. The service sets it per
+	// session slot so each slot gets its own labeled series under a
+	// cardinality bounded by the session quota.
+	MetricSuffix string
 	// Trace, when non-nil, emits causally-linked spans for the session
 	// (node sample → frame send → referee apply → verdict) into the
 	// tracer's journal and stamps vote frames with a wire trace context

@@ -92,20 +92,22 @@ func (p *FaultPlan) decide(g *rng.RNG, reg *obs.Registry) faultAction {
 }
 
 // link is one node→referee connection with the fault plan applied to its
-// vote frames. Control frames bypass injection.
+// vote frames. Control frames bypass injection. Every frame the link
+// writes is bound to sess (0 = the classic single-session encoding).
 type link struct {
 	conn net.Conn
 	plan *FaultPlan
 	g    *rng.RNG // nil when the plan is inactive
 	reg  *obs.Registry
+	sess uint32
 	// Per-peer live counters (nil no-ops when telemetry is disabled).
 	sent    *obs.Counter
 	dropped *obs.Counter
 }
 
 // newLink wraps conn for node's attempt-th connection under plan.
-func newLink(conn net.Conn, plan *FaultPlan, node, attempt int, reg *obs.Registry) *link {
-	l := &link{conn: conn, plan: plan, reg: reg}
+func newLink(conn net.Conn, plan *FaultPlan, node, attempt int, reg *obs.Registry, sess uint32) *link {
+	l := &link{conn: conn, plan: plan, reg: reg, sess: sess}
 	if plan.Active() {
 		l.g = rng.At(plan.Seed, linkID(node, attempt))
 	}
@@ -119,7 +121,7 @@ func newLink(conn net.Conn, plan *FaultPlan, node, attempt int, reg *obs.Registr
 // sendControl writes a control frame with no fault injection.
 func (l *link) sendControl(f wire.Frame) error {
 	l.sent.Inc()
-	return wire.WriteFrame(l.conn, f)
+	return wire.WriteFrameSession(l.conn, f, l.sess, wire.TraceContext{})
 }
 
 // sendVote writes one vote/sketch frame through the fault plan, stamping
@@ -129,23 +131,23 @@ func (l *link) sendControl(f wire.Frame) error {
 func (l *link) sendVote(f wire.Frame, tc wire.TraceContext) error {
 	if l.g == nil {
 		l.sent.Inc()
-		return wire.WriteFrameTraced(l.conn, f, tc)
+		return wire.WriteFrameSession(l.conn, f, l.sess, tc)
 	}
 	switch l.plan.decide(l.g, l.reg) {
 	case faultDisconnect:
 		l.conn.Close()
-		return wire.WriteFrameTraced(l.conn, f, tc) // surfaces the closed-link error
+		return wire.WriteFrameSession(l.conn, f, l.sess, tc) // surfaces the closed-link error
 	case faultDrop:
 		l.dropped.Inc()
 		return nil
 	case faultDup:
-		if err := wire.WriteFrameTraced(l.conn, f, tc); err != nil {
+		if err := wire.WriteFrameSession(l.conn, f, l.sess, tc); err != nil {
 			return err
 		}
 		l.sent.Add(2)
-		return wire.WriteFrameTraced(l.conn, f, tc)
+		return wire.WriteFrameSession(l.conn, f, l.sess, tc)
 	default:
 		l.sent.Inc()
-		return wire.WriteFrameTraced(l.conn, f, tc)
+		return wire.WriteFrameSession(l.conn, f, l.sess, tc)
 	}
 }

@@ -150,7 +150,7 @@ func (nc *NodeClient) submit(frames []outFrame, attempt int) (wire.Verdict, erro
 	conn.SetDeadline(time.Now().Add(nc.Config.deadline())) //unifvet:allow wallclock per-attempt I/O safety bound; votes are precomputed and unaffected
 
 	tr := nc.Config.Trace
-	lk := newLink(conn, nc.Faults, nc.ID, attempt, nc.Config.Obs)
+	lk := newLink(conn, nc.Faults, nc.ID, attempt, nc.Config.Obs, nc.Config.Session)
 	hello := &wire.Hello{Node: uint32(nc.ID), K: uint32(nc.K), Trials: uint32(nc.Config.Trials)}
 	if err := lk.sendControl(hello); err != nil {
 		return wire.Verdict{}, fmt.Errorf("hello: %w", err)
@@ -232,7 +232,7 @@ func (nc *NodeClient) submitBatched(frames []outFrame, attempt int) (wire.Verdic
 	bt := newBatcher(q, cfg, sess, sent)
 
 	hello := &wire.Hello{Node: uint32(nc.ID), K: uint32(nc.K), Trials: uint32(cfg.Trials)}
-	if err := q.send(wire.AppendTraced(q.buffer(), hello, wire.TraceContext{})); err != nil {
+	if err := q.send(wire.AppendSession(q.buffer(), hello, cfg.Session, wire.TraceContext{})); err != nil {
 		return wire.Verdict{}, fmt.Errorf("hello: %w", err)
 	}
 	for _, of := range frames {
@@ -267,7 +267,7 @@ func (nc *NodeClient) submitBatched(frames []outFrame, attempt int) (wire.Verdic
 	if err := bt.flush(); err != nil {
 		return wire.Verdict{}, err
 	}
-	if err := q.send(wire.AppendTraced(q.buffer(), &wire.Done{Node: uint32(nc.ID)}, wire.TraceContext{})); err != nil {
+	if err := q.send(wire.AppendSession(q.buffer(), &wire.Done{Node: uint32(nc.ID)}, cfg.Session, wire.TraceContext{})); err != nil {
 		return wire.Verdict{}, fmt.Errorf("done: %w", err)
 	}
 	// Graceful drain: every queued frame must reach the kernel before we

@@ -157,6 +157,7 @@ type batcher struct {
 	maxVotes int
 	maxBytes int
 	compress bool
+	session  uint32
 	bytes    int
 
 	tr   *trace.Tracer
@@ -172,6 +173,7 @@ func newBatcher(q *sendQueue, cfg Config, sess trace.Context, sent *obs.Counter)
 		maxVotes: cfg.batchSize(),
 		maxBytes: cfg.flushBytes(),
 		compress: cfg.Compress,
+		session:  cfg.Session,
 		tr:       cfg.Trace,
 		sess:     sess,
 		fill:     cfg.Obs.Histogram("cluster.batch_fill", obs.BytesBuckets()),
@@ -212,7 +214,7 @@ func (b *batcher) flush() error {
 	sp := b.tr.Start("node.sendbatch", b.sess,
 		trace.A("votes", n), trace.A("compress", b.compress))
 	ctx := sp.Context()
-	buf, err := b.enc.Append(b.q.buffer(), &b.batch,
+	buf, err := b.enc.AppendSession(b.q.buffer(), &b.batch, b.session,
 		wire.TraceContext{Trace: uint64(ctx.Trace), Span: uint64(ctx.Span)}, b.compress)
 	if err == nil {
 		err = b.q.send(buf)

@@ -1,0 +1,189 @@
+package service
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/unifdist/unifdist/internal/cluster"
+	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/wire"
+	"github.com/unifdist/unifdist/internal/zeroround"
+)
+
+// RejectError is a typed admission denial from the service.
+type RejectError struct {
+	Tenant uint32
+	Reason byte
+}
+
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("service: session rejected for tenant %d: %s", e.Tenant, wire.RejectReasonName(e.Reason))
+}
+
+// Client is one opened session from the client side: it holds the
+// control connection and the granted session ID that node clients must
+// stamp on their frames.
+type Client struct {
+	session uint32
+	tenant  uint32
+	legacy  bool // default-mode session: peers send session 0
+	ctrl    net.Conn
+	r       *wire.Reader
+}
+
+// Open dials the service, requests a session, and completes admission.
+// A denial surfaces as *RejectError; the connection is closed either
+// way when Open fails.
+func Open(dial func() (net.Conn, error), open *wire.SessionOpen) (*Client, error) {
+	conn, err := dial()
+	if err != nil {
+		return nil, fmt.Errorf("service: dial: %w", err)
+	}
+	if err := wire.WriteFrame(conn, open); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	r := wire.NewReader(conn)
+	body, err := r.ReadBody()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("service: admission read: %w", err)
+	}
+	f, _, _, err := wire.DecodeBodySession(body, nil)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("service: admission decode: %w", err)
+	}
+	switch m := f.(type) {
+	case *wire.SessionAccept:
+		return &Client{session: m.Session, tenant: m.Tenant, legacy: open.Default, ctrl: conn, r: r}, nil
+	case *wire.SessionReject:
+		conn.Close()
+		return nil, &RejectError{Tenant: m.Tenant, Reason: m.Reason}
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("service: admission answered with frame type %d", f.Type())
+	}
+}
+
+// Session returns the granted session ID.
+func (c *Client) Session() uint32 { return c.session }
+
+// WireSession returns the session ID node clients must put in
+// Config.Session: the granted ID, or 0 for a default-mode session whose
+// peers speak the legacy sessionless encoding.
+func (c *Client) WireSession() uint32 {
+	if c.legacy {
+		return 0
+	}
+	return c.session
+}
+
+// Wait blocks until the service finishes the session and returns the
+// reconstructed report. Transport statistics are zero by design; see
+// reportFromWire.
+func (c *Client) Wait() (*cluster.Report, error) {
+	body, err := c.r.ReadBody()
+	if err != nil {
+		return nil, fmt.Errorf("service: report read: %w", err)
+	}
+	f, _, _, err := wire.DecodeBodySession(body, nil)
+	if err != nil {
+		return nil, fmt.Errorf("service: report decode: %w", err)
+	}
+	sr, ok := f.(*wire.SessionReport)
+	if !ok {
+		return nil, fmt.Errorf("service: report answered with frame type %d", f.Type())
+	}
+	if sr.Session != c.session {
+		return nil, fmt.Errorf("service: report for session %d on session %d", sr.Session, c.session)
+	}
+	c.ctrl.Close()
+	return reportFromWire(sr), nil
+}
+
+// Close hangs up the control connection before the session decided — the
+// explicit-close signal; the service finalizes the session through the
+// quorum fallback and reclaims its state.
+func (c *Client) Close() error { return c.ctrl.Close() }
+
+// OpenFrame builds the SessionOpen for running nw under cfg: the rule
+// shape is recovered from the network's decision rule. It errors on rules
+// the wire protocol cannot name.
+func OpenFrame(cfg cluster.Config, nw *zeroround.Network, tenant uint32, isDefault bool) (*wire.SessionOpen, error) {
+	open := &wire.SessionOpen{
+		Tenant:     tenant,
+		K:          uint32(nw.K()),
+		Trials:     uint32(cfg.Trials),
+		Seed:       cfg.BaseSeed,
+		Sketch:     cfg.Sketch,
+		Default:    isDefault,
+		EarlyClose: cfg.EarlyClose,
+	}
+	switch r := nw.Rule().(type) {
+	case zeroround.ANDRule:
+		open.Rule = wire.RuleAND
+	case zeroround.ThresholdRule:
+		open.Rule = wire.RuleThreshold
+		open.Thresh = uint32(r.T)
+	default:
+		return nil, fmt.Errorf("service: rule %q has no wire encoding", nw.Rule().Name())
+	}
+	return open, nil
+}
+
+// Submit is the full client side of one session: open it, run one node
+// client per network node against the service (frames stamped with the
+// granted session), and wait for the report. It is the service-transport
+// analogue of cluster.RunPipe/RunTCP — same cfg, same network, same
+// deterministic vote streams — which is what the differential tests
+// compare against.
+func Submit(dial func() (net.Conn, error), cfg cluster.Config, nw *zeroround.Network, d dist.Distribution, plan *cluster.FaultPlan, tenant uint32, isDefault bool) (*cluster.Report, error) {
+	open, err := OpenFrame(cfg, nw, tenant, isDefault)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Open(dial, open)
+	if err != nil {
+		return nil, err
+	}
+	k := nw.K()
+	ncfg := cfg
+	ncfg.Session = c.WireSession()
+
+	errCh := make(chan error, k)
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for i := 0; i < k; i++ {
+		nc := &cluster.NodeClient{
+			ID:     i,
+			K:      k,
+			Tester: nw.Node(i),
+			Config: ncfg,
+			Dial:   dial,
+			Faults: plan,
+		}
+		go func(i int, nc *cluster.NodeClient) {
+			defer wg.Done()
+			if _, err := nc.Run(d); err != nil {
+				errCh <- fmt.Errorf("node %d: %w", i, err)
+			}
+		}(i, nc)
+	}
+	rep, werr := c.Wait()
+	wg.Wait()
+	close(errCh)
+	if werr != nil {
+		return nil, werr
+	}
+	if cfg.EarlyClose {
+		// Early close severs node connections whose verdicts were no longer
+		// needed; their errors are expected, exactly as in runSession.
+		return rep, nil
+	}
+	for err := range errCh {
+		return rep, fmt.Errorf("service: %w", err)
+	}
+	return rep, nil
+}

@@ -1,0 +1,449 @@
+package service_test
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/unifdist/unifdist/internal/cluster"
+	"github.com/unifdist/unifdist/internal/cluster/service"
+	"github.com/unifdist/unifdist/internal/dist"
+	"github.com/unifdist/unifdist/internal/obs"
+	"github.com/unifdist/unifdist/internal/wire"
+	"github.com/unifdist/unifdist/internal/zeroround"
+)
+
+func andNetwork(t testing.TB, n, k int) *zeroround.Network {
+	t.Helper()
+	cfg, err := zeroround.SolveAND(n, k, 1.0, 1.0/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := zeroround.BuildAND(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func thresholdNetwork(t testing.TB, n, k int) *zeroround.Network {
+	t.Helper()
+	cfg, err := zeroround.SolveThreshold(n, k, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := zeroround.BuildThreshold(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// sansStats strips transport accounting and EarlyTrials, as the cluster
+// package's differential tests do: those fields legitimately differ
+// between transports (and the wire report intentionally omits them).
+func sansStats(r *cluster.Report) cluster.Report {
+	c := *r
+	c.Stats = cluster.RefereeStats{}
+	c.EarlyTrials = 0
+	return c
+}
+
+// startService runs a service over an in-memory listener and returns the
+// dial function; cleanup closes the service.
+func startService(t testing.TB, cfg service.Config) (*service.Service, func() (net.Conn, error)) {
+	t.Helper()
+	svc := service.New(cfg)
+	l := cluster.NewPipeListener()
+	go svc.Serve(l)
+	t.Cleanup(func() { svc.Close() })
+	return svc, l.Dial
+}
+
+// sessionCase is one tenant's workload in the multi-session tests.
+type sessionCase struct {
+	name string
+	nw   *zeroround.Network
+	d    dist.Distribution
+	cfg  cluster.Config
+	plan *cluster.FaultPlan
+}
+
+// mixedCases builds the headline workload: ≥8 sessions mixing rules,
+// seeds, batching, sketch mode and seeded 10% vote drop.
+func mixedCases(t testing.TB) []sessionCase {
+	thr := thresholdNetwork(t, 64, 60)
+	and := andNetwork(t, 1<<10, 16)
+	twoBump := dist.NewTwoBump(64, 1.0, 9)
+	uni := dist.NewUniform(1 << 10)
+	return []sessionCase{
+		{"thr-seed1", thr, twoBump, cluster.Config{Trials: 12, BaseSeed: 1}, nil},
+		{"thr-seed77-batch", thr, twoBump, cluster.Config{Trials: 12, BaseSeed: 77, Batch: 16}, nil},
+		{"and-seed3", and, uni, cluster.Config{Trials: 8, BaseSeed: 3}, nil},
+		{"and-seed41-batch", and, uni, cluster.Config{Trials: 8, BaseSeed: 41, Batch: 64, Compress: true}, nil},
+		{"thr-sketch", thr, twoBump, cluster.Config{Trials: 10, BaseSeed: 5, Sketch: true, DomainN: 64}, nil},
+		{"thr-drop", thr, twoBump, cluster.Config{Trials: 10, BaseSeed: 9}, &cluster.FaultPlan{Seed: 7, Drop: 0.10}},
+		{"thr-drop-batch", thr, twoBump, cluster.Config{Trials: 10, BaseSeed: 13, Batch: 8}, &cluster.FaultPlan{Seed: 11, Drop: 0.10, Dup: 0.10}},
+		{"and-drop", and, uni, cluster.Config{Trials: 8, BaseSeed: 21}, &cluster.FaultPlan{Seed: 5, Drop: 0.10}},
+	}
+}
+
+// TestConcurrentSessionsMatchSolo is the headline differential: many
+// concurrent sessions multiplexed over one service, each byte-identical
+// (sans transport stats) to its solo flat-star run, and — for the
+// fault-free ones — trial-for-trial identical to the indexed reference
+// RunAt. Interleaving under seeded faults included.
+func TestConcurrentSessionsMatchSolo(t *testing.T) {
+	cases := mixedCases(t)
+	if len(cases) < 8 {
+		t.Fatalf("headline workload has %d sessions, want ≥ 8", len(cases))
+	}
+	_, dial := startService(t, service.Config{MaxSessions: len(cases)})
+
+	got := make([]*cluster.Report, len(cases))
+	errs := make([]error, len(cases))
+	var wg sync.WaitGroup
+	wg.Add(len(cases))
+	for i, c := range cases {
+		go func(i int, c sessionCase) {
+			defer wg.Done()
+			got[i], errs[i] = service.Submit(dial, c.cfg, c.nw, c.d, c.plan, uint32(i+1), false)
+		}(i, c)
+	}
+	wg.Wait()
+
+	for i, c := range cases {
+		if errs[i] != nil {
+			t.Fatalf("%s: %v", c.name, errs[i])
+		}
+		want, err := cluster.RunPipe(c.cfg, c.nw, c.d, c.plan)
+		if err != nil {
+			t.Fatalf("%s: solo run: %v", c.name, err)
+		}
+		if !reflect.DeepEqual(sansStats(got[i]), sansStats(want)) {
+			t.Errorf("%s: service report diverged from solo run:\n got %+v\nwant %+v",
+				c.name, sansStats(got[i]), sansStats(want))
+		}
+		if !c.plan.Active() && !c.cfg.Sketch {
+			for tr := 0; tr < c.cfg.Trials; tr++ {
+				wantAccept, wantRejects := c.nw.RunAt(c.d, c.cfg.BaseSeed, uint64(tr), nil, nil)
+				if got[i].Verdicts[tr] != wantAccept || got[i].Rejects[tr] != wantRejects {
+					t.Errorf("%s trial %d: (%v, %d), reference (%v, %d)", c.name, tr,
+						got[i].Verdicts[tr], got[i].Rejects[tr], wantAccept, wantRejects)
+				}
+			}
+		}
+		// Cross-session dedup isolation: every vote of this session — and
+		// none from any other — landed in its referee.
+		if got[i].K != c.nw.K() || got[i].Trials != c.cfg.Trials {
+			t.Errorf("%s: report shape (%d, %d), want (%d, %d)",
+				c.name, got[i].K, got[i].Trials, c.nw.K(), c.cfg.Trials)
+		}
+	}
+}
+
+// TestLegacyPeersViaDefaultSession pins v3/v4 interop: node clients that
+// speak the sessionless encoding (Config.Session = 0, frames
+// byte-identical to wire v4) are served by the designated default
+// session.
+func TestLegacyPeersViaDefaultSession(t *testing.T) {
+	nw := thresholdNetwork(t, 64, 40)
+	d := dist.NewTwoBump(64, 1.0, 5)
+	for _, cfg := range []cluster.Config{
+		{Trials: 8, BaseSeed: 6},            // per-vote frames, the v3 shape
+		{Trials: 8, BaseSeed: 6, Batch: 16}, // batched frames, the v4 shape
+	} {
+		_, dial := startService(t, service.Config{})
+		rep, err := service.Submit(dial, cfg, nw, d, nil, 9, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := cluster.RunPipe(cfg, nw, d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sansStats(rep), sansStats(want)) {
+			t.Fatalf("batch=%d: legacy-peer session diverged from solo run:\n got %+v\nwant %+v",
+				cfg.Batch, sansStats(rep), sansStats(want))
+		}
+	}
+}
+
+func mustOpen(t *testing.T, dial func() (net.Conn, error), open *wire.SessionOpen) *service.Client {
+	t.Helper()
+	c, err := service.Open(dial, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func wantReject(t *testing.T, dial func() (net.Conn, error), open *wire.SessionOpen, reason byte) {
+	t.Helper()
+	_, err := service.Open(dial, open)
+	var re *service.RejectError
+	if !errors.As(err, &re) {
+		t.Fatalf("open succeeded or failed untyped (%v), want reject %s", err, wire.RejectReasonName(reason))
+	}
+	if re.Reason != reason {
+		t.Fatalf("rejected with %s, want %s", wire.RejectReasonName(re.Reason), wire.RejectReasonName(reason))
+	}
+}
+
+// TestAdmissionQuotas walks every typed rejection reason.
+func TestAdmissionQuotas(t *testing.T) {
+	_, dial := startService(t, service.Config{
+		MaxSessions:  3,
+		TenantBudget: 1000,
+		MaxK:         256,
+		MaxTrials:    64,
+	})
+	ok := &wire.SessionOpen{Tenant: 1, K: 10, Trials: 10, Rule: wire.RuleAND}
+
+	// Shape: zero K, zero trials, K or trials over the cap.
+	for _, bad := range []*wire.SessionOpen{
+		{Tenant: 1, K: 0, Trials: 10, Rule: wire.RuleAND},
+		{Tenant: 1, K: 10, Trials: 0, Rule: wire.RuleAND},
+		{Tenant: 1, K: 1000, Trials: 10, Rule: wire.RuleAND},
+		{Tenant: 1, K: 10, Trials: 1000, Rule: wire.RuleAND},
+	} {
+		wantReject(t, dial, bad, wire.RejectShape)
+	}
+	// Rule: unknown byte, threshold without T, sketch under AND.
+	for _, bad := range []*wire.SessionOpen{
+		{Tenant: 1, K: 10, Trials: 10, Rule: 99},
+		{Tenant: 1, K: 10, Trials: 10, Rule: wire.RuleThreshold},
+		{Tenant: 1, K: 10, Trials: 10, Rule: wire.RuleAND, Sketch: true},
+	} {
+		wantReject(t, dial, bad, wire.RejectRule)
+	}
+	// Budget: tenant 1 holds 100 of 1000; 950 more would overflow, while
+	// tenant 2 starts fresh.
+	c1 := mustOpen(t, dial, ok)
+	defer c1.Close()
+	wantReject(t, dial, &wire.SessionOpen{Tenant: 1, K: 95, Trials: 10, Rule: wire.RuleAND}, wire.RejectBudget)
+	// Default: at most one.
+	c2 := mustOpen(t, dial, &wire.SessionOpen{Tenant: 2, K: 10, Trials: 10, Rule: wire.RuleAND, Default: true})
+	defer c2.Close()
+	wantReject(t, dial, &wire.SessionOpen{Tenant: 3, K: 10, Trials: 10, Rule: wire.RuleAND, Default: true}, wire.RejectDefault)
+	// Sessions: all three slots held.
+	c3 := mustOpen(t, dial, &wire.SessionOpen{Tenant: 3, K: 10, Trials: 10, Rule: wire.RuleAND})
+	defer c3.Close()
+	wantReject(t, dial, &wire.SessionOpen{Tenant: 4, K: 10, Trials: 10, Rule: wire.RuleAND}, wire.RejectSessions)
+}
+
+// openUntilAccepted retries an open while the service finishes a prior
+// session asynchronously.
+func openUntilAccepted(t *testing.T, dial func() (net.Conn, error), open *wire.SessionOpen) *service.Client {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := service.Open(dial, open)
+		if err == nil {
+			return c
+		}
+		var re *service.RejectError
+		if !errors.As(err, &re) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed: still rejected with %s", wire.RejectReasonName(re.Reason))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestExplicitCloseReclaimsSlot pins the explicit-close path: hanging up
+// the control connection finalizes the session and frees its slot,
+// tenant budget and default designation for the next tenant.
+func TestExplicitCloseReclaimsSlot(t *testing.T) {
+	_, dial := startService(t, service.Config{MaxSessions: 1, TenantBudget: 200})
+	open := &wire.SessionOpen{Tenant: 1, K: 10, Trials: 10, Rule: wire.RuleAND, Default: true}
+	c := mustOpen(t, dial, open)
+	wantReject(t, dial, &wire.SessionOpen{Tenant: 2, K: 10, Trials: 10, Rule: wire.RuleAND}, wire.RejectSessions)
+	c.Close()
+	// The same shape — same budget, same default flag — must be admittable
+	// again once the close lands.
+	c2 := openUntilAccepted(t, dial, open)
+	c2.Close()
+}
+
+// TestReaperEvictsStalledSession pins stalled-session eviction: a session
+// whose nodes never show up is expired at the deadline and finalized
+// through the quorum fallback, without disturbing a live session that is
+// still making progress; its slot is reusable afterwards.
+func TestReaperEvictsStalledSession(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, dial := startService(t, service.Config{
+		MaxSessions:  2,
+		Deadline:     300 * time.Millisecond,
+		ReapInterval: 20 * time.Millisecond,
+		Obs:          reg,
+	})
+	// The stalled session: opened, no nodes ever connect.
+	stalled := mustOpen(t, dial, &wire.SessionOpen{Tenant: 1, K: 4, Trials: 3, Rule: wire.RuleAND})
+	// The live session: runs to completion well inside the deadline.
+	nw := thresholdNetwork(t, 64, 40)
+	d := dist.NewTwoBump(64, 1.0, 5)
+	cfg := cluster.Config{Trials: 6, BaseSeed: 6}
+	liveRep, err := service.Submit(dial, cfg, nw, d, nil, 2, false)
+	if err != nil {
+		t.Fatalf("live session: %v", err)
+	}
+	want, err := cluster.RunPipe(cfg, nw, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sansStats(liveRep), sansStats(want)) {
+		t.Errorf("live session diverged while the reaper ran:\n got %+v\nwant %+v",
+			sansStats(liveRep), sansStats(want))
+	}
+	// The stalled session's report arrives once the reaper fires: every
+	// trial quorum-decided with all votes missing.
+	rep, err := stalled.Wait()
+	if err != nil {
+		t.Fatalf("evicted session report: %v", err)
+	}
+	if rep.Trials != 3 || rep.MissingVotes != 4*3 || rep.QuorumTrials != 3 {
+		t.Fatalf("evicted report: trials=%d missing=%d quorum=%d, want 3/12/3",
+			rep.Trials, rep.MissingVotes, rep.QuorumTrials)
+	}
+	if got := reg.Counter("svc.sessions_evicted").Value(); got != 1 {
+		t.Errorf("sessions_evicted = %d, want 1", got)
+	}
+	// Both slots must be free again.
+	c1 := openUntilAccepted(t, dial, &wire.SessionOpen{Tenant: 3, K: 4, Trials: 3, Rule: wire.RuleAND})
+	defer c1.Close()
+	c2 := openUntilAccepted(t, dial, &wire.SessionOpen{Tenant: 4, K: 4, Trials: 3, Rule: wire.RuleAND})
+	defer c2.Close()
+	if got := reg.Gauge("svc.sessions_active").Value(); got != 2 {
+		t.Errorf("sessions_active = %v after reopen, want 2", got)
+	}
+}
+
+// TestServiceMetrics pins the telemetry contract: the active gauge rises
+// and falls with sessions, per-session metric names carry the slot label,
+// and label cardinality is bounded by the session quota no matter how
+// many sessions have been served.
+func TestServiceMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	const quota = 2
+	_, dial := startService(t, service.Config{MaxSessions: quota, Obs: reg})
+	nw := thresholdNetwork(t, 64, 40)
+	d := dist.NewTwoBump(64, 1.0, 5)
+	// Serve more sessions than the quota, sequentially, so slots recycle.
+	for i := 0; i < 5; i++ {
+		cfg := cluster.Config{Trials: 4, BaseSeed: uint64(i)}
+		if _, err := service.Submit(dial, cfg, nw, d, nil, uint32(i+1), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("svc.sessions_opened").Value(); got != 5 {
+		t.Errorf("sessions_opened = %d, want 5", got)
+	}
+	// The last report is delivered just before its session's state is
+	// reclaimed, so the gauge settles asynchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Gauge("svc.sessions_active").Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sessions_active = %v after all sessions ended, want 0",
+				reg.Gauge("svc.sessions_active").Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap := reg.Snapshot()
+	slots := map[string]bool{}
+	for name := range snap.Counters {
+		if i := indexOfLabel(name); i >= 0 {
+			slot := name[i:]
+			slots[slot] = true
+		}
+	}
+	for name := range snap.Gauges {
+		if i := indexOfLabel(name); i >= 0 {
+			slots[slot(name)] = true
+		}
+	}
+	if len(slots) > quota {
+		t.Errorf("metrics carry %d distinct session labels %v, quota is %d", len(slots), slots, quota)
+	}
+	if !slots[";session=0"] {
+		t.Errorf("no metric carries the slot-0 session label; saw %v", slots)
+	}
+	if reg.Counter("svc.frames;session=0").Value() == 0 {
+		t.Error("svc.frames;session=0 never counted")
+	}
+}
+
+func indexOfLabel(name string) int {
+	for i := 0; i+9 <= len(name); i++ {
+		if name[i:i+9] == ";session=" {
+			return i
+		}
+	}
+	return -1
+}
+
+func slot(name string) string { return name[indexOfLabel(name):] }
+
+// BenchmarkServiceConcurrentSessions measures aggregate fold throughput
+// (votes/sec) and fairness (spread: slowest session's wall time over the
+// fastest's) at 1, 4 and 16 concurrent sessions.
+func BenchmarkServiceConcurrentSessions(b *testing.B) {
+	nw := thresholdNetwork(b, 64, 60)
+	d := dist.NewTwoBump(64, 1.0, 9)
+	for _, sessions := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			// Slot reclaim is asynchronous (the report reaches the client
+			// before the slot frees), so back-to-back iterations need
+			// headroom; concurrency stays capped by the submit goroutines.
+			_, dial := startService(b, service.Config{MaxSessions: 2 * sessions})
+			// Enough trials that steady-state round-robin folding, not
+			// per-session connection setup, dominates each wall time.
+			const trials = 32
+			votes := nw.K() * trials * sessions
+			var total time.Duration
+			var spreadSum float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				durs := make([]time.Duration, sessions)
+				var wg sync.WaitGroup
+				wg.Add(sessions)
+				for s := 0; s < sessions; s++ {
+					go func(s int) {
+						defer wg.Done()
+						start := time.Now()
+						cfg := cluster.Config{Trials: trials, BaseSeed: uint64(i*sessions + s), Batch: 16}
+						if _, err := service.Submit(dial, cfg, nw, d, nil, uint32(s+1), false); err != nil {
+							b.Error(err)
+						}
+						durs[s] = time.Since(start)
+					}(s)
+				}
+				wg.Wait()
+				worst, best := durs[0], durs[0]
+				for _, du := range durs {
+					if du > worst {
+						worst = du
+					}
+					if du < best {
+						best = du
+					}
+				}
+				total += worst
+				if best > 0 {
+					spreadSum += float64(worst) / float64(best)
+				}
+			}
+			b.StopTimer()
+			if total > 0 {
+				b.ReportMetric(float64(votes)*float64(b.N)/total.Seconds(), "votes/sec")
+			}
+			b.ReportMetric(spreadSum/float64(b.N), "fairness-spread")
+		})
+	}
+}

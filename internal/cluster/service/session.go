@@ -1,0 +1,97 @@
+package service
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"github.com/unifdist/unifdist/internal/cluster"
+	"github.com/unifdist/unifdist/internal/obs"
+	"github.com/unifdist/unifdist/internal/wire"
+)
+
+// session is one admitted testing session: an isolated referee plus the
+// multiplexer state around it. Identity fields are immutable after
+// admission; the frame queue is guarded by the scheduler mutex; finish
+// is serialized by finishOnce.
+type session struct {
+	id        uint32 // service-assigned, nonzero, unique among open sessions
+	slot      int    // metric-label slot in [0, MaxSessions)
+	tenant    uint32
+	cost      int  // k×trials charged against the tenant budget
+	isDefault bool // serves legacy session-0 peers
+
+	rf      *cluster.Referee
+	ctrl    net.Conn // the opener's control connection; receives the SessionReport
+	journal *obs.Journal
+	expiry  time.Time // reaper eviction bound
+
+	q sessQueue
+
+	closeCh    chan struct{} // closed on explicit client close
+	closeOnce  sync.Once
+	finishOnce sync.Once
+}
+
+// wireID is the session ID node frames must carry. Legacy peers of a
+// default session instead send session 0 and are routed here by the
+// service, bypassing this check.
+func (s *session) wireID() uint32 { return s.id }
+
+// requestClose signals the explicit-close path (control connection gone
+// before the session decided). Idempotent.
+func (s *session) requestClose() {
+	s.closeOnce.Do(func() { close(s.closeCh) })
+}
+
+// reportFrame converts a referee report into the wire SessionReport.
+// Transport statistics are deliberately not carried: the wire report is
+// the transport-independent outcome.
+func reportFrame(id uint32, rep *cluster.Report) *wire.SessionReport {
+	sr := &wire.SessionReport{
+		Session:  id,
+		K:        uint32(rep.K),
+		Verdicts: rep.Verdicts,
+		Rejects:  make([]uint32, rep.Trials),
+		Votes:    make([]uint32, rep.Trials),
+		Missing:  make([]uint32, rep.Trials),
+	}
+	for t := 0; t < rep.Trials; t++ {
+		sr.Rejects[t] = uint32(rep.Rejects[t])
+		sr.Votes[t] = uint32(rep.Votes[t])
+		sr.Missing[t] = uint32(rep.Missing[t])
+	}
+	return sr
+}
+
+// reportFromWire reconstructs the client-side cluster.Report from a
+// SessionReport: the per-trial columns verbatim, the aggregates recomputed
+// from them. Stats stay zero — the wire report intentionally carries no
+// transport accounting — and QuorumTrials is recovered as the trials with
+// missing votes. EarlyTrials is not recoverable (an early-decided trial
+// with all votes present is indistinguishable from a fully-voted one) and
+// stays zero; byte-level comparisons against direct runs zero both sides.
+func reportFromWire(sr *wire.SessionReport) *cluster.Report {
+	trials := len(sr.Verdicts)
+	rep := &cluster.Report{
+		K:        int(sr.K),
+		Trials:   trials,
+		Verdicts: sr.Verdicts,
+		Rejects:  make([]int, trials),
+		Votes:    make([]int, trials),
+		Missing:  make([]int, trials),
+	}
+	for t := 0; t < trials; t++ {
+		rep.Rejects[t] = int(sr.Rejects[t])
+		rep.Votes[t] = int(sr.Votes[t])
+		rep.Missing[t] = int(sr.Missing[t])
+		if rep.Verdicts[t] {
+			rep.Accepts++
+		}
+		if rep.Missing[t] > 0 {
+			rep.MissingVotes += rep.Missing[t]
+			rep.QuorumTrials++
+		}
+	}
+	return rep
+}

@@ -107,18 +107,25 @@ func (s *voteSink) init(k, lo, hi int, cfg Config, prefix, spanNS string) {
 	s.nodeDone = make([]bool, span)
 	s.trigger = make(chan struct{})
 	s.m = sinkMetrics{
-		votes:       s.reg.Counter(prefix + ".votes"),
-		votesDup:    s.reg.Counter(prefix + ".votes_dup"),
-		badFrames:   s.reg.Counter(prefix + ".bad_frames"),
-		frames:      s.reg.Counter(prefix + ".frames"),
-		batchSaved:  s.reg.Counter(prefix + ".batch_bytes_saved"),
-		batchFill:   s.reg.Histogram(prefix+".batch_fill", obs.BytesBuckets()),
-		dedup:       s.reg.Gauge(prefix + ".dedup_occupancy"),
-		peersIdle:   s.reg.Gauge(prefix + ".peers_idle"),
-		fanin:       s.reg.Counter("agg.fanin"),
-		partials:    s.reg.Counter(prefix + ".partials"),
-		partialsDup: s.reg.Counter(prefix + ".partials_dup"),
+		votes:       s.reg.Counter(s.metricName("votes")),
+		votesDup:    s.reg.Counter(s.metricName("votes_dup")),
+		badFrames:   s.reg.Counter(s.metricName("bad_frames")),
+		frames:      s.reg.Counter(s.metricName("frames")),
+		batchSaved:  s.reg.Counter(s.metricName("batch_bytes_saved")),
+		batchFill:   s.reg.Histogram(s.metricName("batch_fill"), obs.BytesBuckets()),
+		dedup:       s.reg.Gauge(s.metricName("dedup_occupancy")),
+		peersIdle:   s.reg.Gauge(s.metricName("peers_idle")),
+		fanin:       s.reg.Counter("agg.fanin" + cfg.MetricSuffix),
+		partials:    s.reg.Counter(s.metricName("partials")),
+		partialsDup: s.reg.Counter(s.metricName("partials_dup")),
 	}
+}
+
+// metricName builds one sink metric name: the namespace prefix, the base
+// name, and the config's label suffix (";k=v", rendered as Prometheus
+// labels by the exporter; empty outside the multi-tenant service).
+func (s *voteSink) metricName(name string) string {
+	return s.prefix + "." + name + s.cfg.MetricSuffix
 }
 
 // acceptLoop runs the listener until it closes, spawning one handler per
@@ -141,7 +148,7 @@ func (s *voteSink) acceptLoop(l net.Listener, deadline time.Duration, wg *sync.W
 		s.stats.Connections++
 		wg.Add(1)
 		s.mu.Unlock()
-		s.reg.Counter(s.prefix + ".connections").Inc()
+		s.reg.Counter(s.metricName("connections")).Inc()
 		go func() {
 			defer wg.Done()
 			// Absolute per-connection read bound: a stalled peer cannot
@@ -158,9 +165,9 @@ func (s *voteSink) handle(conn net.Conn, end time.Time) {
 	r := wire.NewReader(conn)
 	node := -1        // set by a leaf Hello
 	var peer *aggPeer // set by a child AggHello
-	frameBytes := s.reg.Histogram(s.prefix+".frame_bytes", obs.BytesBuckets())
-	s.reg.Gauge(s.prefix + ".peers_connected").Add(1)
-	defer s.reg.Gauge(s.prefix + ".peers_connected").Add(-1)
+	frameBytes := s.reg.Histogram(s.metricName("frame_bytes"), obs.BytesBuckets())
+	s.reg.Gauge(s.metricName("peers_connected")).Add(1)
+	defer s.reg.Gauge(s.metricName("peers_connected")).Add(-1)
 	// Per-frame-type decode and apply latency histograms, resolved once per
 	// connection; nil (and never timed) when telemetry is off, so the hot
 	// path pays no clock reads by default.
@@ -168,8 +175,8 @@ func (s *voteSink) handle(conn net.Conn, end time.Time) {
 	if s.reg != nil {
 		for t := wire.TypeHello; t <= wire.TypePartialVerdict; t++ {
 			name := wire.TypeName(t)
-			decodeNS[t] = s.reg.Histogram(s.prefix+".decode_ns."+name, obs.LatencyBuckets())
-			applyNS[t] = s.reg.Histogram(s.prefix+".apply_ns."+name, obs.LatencyBuckets())
+			decodeNS[t] = s.reg.Histogram(s.metricName("decode_ns."+name), obs.LatencyBuckets())
+			applyNS[t] = s.reg.Histogram(s.metricName("apply_ns."+name), obs.LatencyBuckets())
 		}
 	}
 	var peerRecv *obs.Counter // resolved after Hello identifies the peer
@@ -191,11 +198,19 @@ func (s *voteSink) handle(conn net.Conn, end time.Time) {
 		if s.reg != nil {
 			t0 = time.Now() //unifvet:allow wallclock latency histogram sample; enabled only with telemetry, never read by decisions
 		}
-		f, tc, err := wire.DecodeBodyScratch(body, &sc)
+		f, tc, sess, err := wire.DecodeBodySession(body, &sc)
 		if err != nil {
 			// Codec error: count it and end the transport, as before the
 			// read/decode split.
 			s.countBadFrame()
+			return
+		}
+		if sess != s.cfg.Session {
+			// A frame bound to another session (or a bare legacy frame on a
+			// session-bound sink) is a misdirected peer: terminate the
+			// transport so its votes cannot leak across sessions.
+			s.countBadFrame()
+			conn.Close()
 			return
 		}
 		ft := f.Type()
@@ -230,7 +245,7 @@ func (s *voteSink) handle(conn net.Conn, end time.Time) {
 			}
 			node = int(m.Node)
 			if s.reg != nil {
-				peerRecv = s.reg.Counter(fmt.Sprintf("%s.peer.%d.recv", s.prefix, node))
+				peerRecv = s.reg.Counter(s.metricName(fmt.Sprintf("peer.%d.recv", node)))
 				peerRecv.Inc() // the Hello itself
 			}
 		case *wire.AggHello:
@@ -247,7 +262,7 @@ func (s *voteSink) handle(conn net.Conn, end time.Time) {
 			}
 			peer = p
 			if s.reg != nil {
-				peerRecv = s.reg.Counter(fmt.Sprintf("%s.aggpeer.%d.recv", s.prefix, peer.id))
+				peerRecv = s.reg.Counter(s.metricName(fmt.Sprintf("aggpeer.%d.recv", peer.id)))
 				peerRecv.Inc() // the AggHello itself
 			}
 		case *wire.Vote:

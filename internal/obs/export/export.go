@@ -123,7 +123,7 @@ func (s *Server) updateRates(snap obs.Snapshot) {
 		if dt < 10*time.Millisecond {
 			continue // too close to the previous scrape for a stable rate
 		}
-		s.reg.Gauge(name+"_per_sec").Set(float64(cur-prev.value) / dt.Seconds())
+		s.reg.Gauge(name + "_per_sec").Set(float64(cur-prev.value) / dt.Seconds())
 		s.last[name] = rateState{value: cur, at: now}
 	}
 }
@@ -174,15 +174,29 @@ func (s *Server) Close() error {
 // Metric names are sanitized (dots and dashes become underscores) and
 // emitted in sorted order; histogram buckets are converted from the
 // registry's per-bucket counts to Prometheus cumulative "le" counts.
+//
+// Registry names may carry a label suffix in the form
+// "base;key=value;key2=value2" (the multi-tenant session service labels
+// per-session series as "svc.frames;session=3"). Labeled series render
+// as base{key="value"}, the base becomes the metric family, and one
+// # TYPE line is emitted per family — label variants of a family share
+// it, as the exposition format requires. A suffix that does not parse
+// (a ';' with no '=') falls back to sanitizing the whole name, which is
+// what every release before label support did.
 func WriteMetrics(w io.Writer, s obs.Snapshot) {
 	counters := make([]string, 0, len(s.Counters))
 	for name := range s.Counters {
 		counters = append(counters, name)
 	}
 	sort.Strings(counters)
+	lastFam := ""
 	for _, name := range counters {
-		n := Sanitize(name)
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name])
+		fam, labels := promSeries(name)
+		if fam != lastFam {
+			fmt.Fprintf(w, "# TYPE %s counter\n", fam)
+			lastFam = fam
+		}
+		fmt.Fprintf(w, "%s%s %d\n", fam, labels, s.Counters[name])
 	}
 
 	gauges := make([]string, 0, len(s.Gauges))
@@ -190,9 +204,14 @@ func WriteMetrics(w io.Writer, s obs.Snapshot) {
 		gauges = append(gauges, name)
 	}
 	sort.Strings(gauges)
+	lastFam = ""
 	for _, name := range gauges {
-		n := Sanitize(name)
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, s.Gauges[name])
+		fam, labels := promSeries(name)
+		if fam != lastFam {
+			fmt.Fprintf(w, "# TYPE %s gauge\n", fam)
+			lastFam = fam
+		}
+		fmt.Fprintf(w, "%s%s %g\n", fam, labels, s.Gauges[name])
 	}
 
 	hists := make([]string, 0, len(s.Histograms))
@@ -200,22 +219,55 @@ func WriteMetrics(w io.Writer, s obs.Snapshot) {
 		hists = append(hists, name)
 	}
 	sort.Strings(hists)
+	lastFam = ""
 	for _, name := range hists {
-		n := Sanitize(name)
+		fam, labels := promSeries(name)
+		if fam != lastFam {
+			fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
+			lastFam = fam
+		}
 		h := s.Histograms[name]
-		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
 		var cum int64
 		for _, b := range h.Buckets {
 			cum += b.Count
 			if b.Overflow {
 				continue // folded into the +Inf bucket below
 			}
-			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, b.UpperBound, cum)
+			fmt.Fprintf(w, "%s_bucket%s %d\n", fam, withLabel(labels, "le", fmt.Sprintf("%d", b.UpperBound)), cum)
 		}
-		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
-		fmt.Fprintf(w, "%s_sum %d\n", n, h.Sum)
-		fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", fam, withLabel(labels, "le", "+Inf"), h.Count)
+		fmt.Fprintf(w, "%s_sum%s %d\n", fam, labels, h.Sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", fam, labels, h.Count)
 	}
+}
+
+// promSeries splits a registry name into its Prometheus family and
+// rendered label block: "svc.frames;session=3" → ("svc_frames",
+// `{session="3"}`). Names without a parseable ";key=value" suffix return
+// the fully sanitized name and no labels.
+func promSeries(name string) (fam, labels string) {
+	i := strings.IndexByte(name, ';')
+	if i <= 0 {
+		return Sanitize(name), ""
+	}
+	var parts []string
+	for _, seg := range strings.Split(name[i+1:], ";") {
+		eq := strings.IndexByte(seg, '=')
+		if eq <= 0 {
+			return Sanitize(name), ""
+		}
+		parts = append(parts, fmt.Sprintf("%s=%q", Sanitize(seg[:eq]), seg[eq+1:]))
+	}
+	return Sanitize(name[:i]), "{" + strings.Join(parts, ",") + "}"
+}
+
+// withLabel merges one more label pair into a rendered label block.
+func withLabel(labels, key, value string) string {
+	pair := fmt.Sprintf("%s=%q", key, value)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
 }
 
 // Sanitize maps a registry metric name onto the Prometheus name charset.

@@ -4,6 +4,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -52,13 +53,66 @@ func TestWriteMetricsFormat(t *testing.T) {
 	}
 }
 
+// TestWriteMetricsLabels pins the ";key=value" label convention: labeled
+// series render as Prometheus labels, variants of a family share exactly
+// one # TYPE line, and the whole page parses as text exposition format.
+func TestWriteMetricsLabels(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("svc.frames;session=0").Add(7)
+	r.Counter("svc.frames;session=1").Add(9)
+	r.Counter("cluster.votes;session=1").Add(4)
+	r.Counter("cluster.votes").Add(1) // unlabeled sibling of a labeled family
+	r.Gauge("svc.queue_depth;session=0").Set(2)
+	r.Gauge("agg.fanin;session=1;tier=2").Set(8)
+	r.Histogram("apply_ns.vote;session=1", []int64{10}).Observe(5)
+	r.Counter("weird;notalabel").Add(1) // unparseable suffix: sanitized whole
+
+	var b strings.Builder
+	WriteMetrics(&b, r.Snapshot())
+	out := b.String()
+
+	for _, want := range []string{
+		"svc_frames{session=\"0\"} 7\n",
+		"svc_frames{session=\"1\"} 9\n",
+		"cluster_votes 1\n",
+		"cluster_votes{session=\"1\"} 4\n",
+		"svc_queue_depth{session=\"0\"} 2\n",
+		"agg_fanin{session=\"1\",tier=\"2\"} 8\n",
+		"apply_ns_vote_bucket{session=\"1\",le=\"10\"} 1\n",
+		"apply_ns_vote_bucket{session=\"1\",le=\"+Inf\"} 1\n",
+		"apply_ns_vote_sum{session=\"1\"} 5\n",
+		"weird_notalabel 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n---\n%s", want, out)
+		}
+	}
+	// One TYPE line per family, label variants included.
+	for fam, want := range map[string]int{
+		"# TYPE svc_frames counter\n":    1,
+		"# TYPE cluster_votes counter\n": 1,
+	} {
+		if got := strings.Count(out, fam); got != want {
+			t.Errorf("%q appears %d times, want %d\n---\n%s", fam, got, want, out)
+		}
+	}
+	// Every line must be valid exposition format.
+	series := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9eE.+Inf]+$`)
+	typeLine := regexp.MustCompile(`^# TYPE [a-zA-Z_][a-zA-Z0-9_]* (counter|gauge|histogram)$`)
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !series.MatchString(line) && !typeLine.MatchString(line) {
+			t.Errorf("invalid exposition line %q", line)
+		}
+	}
+}
+
 func TestSanitize(t *testing.T) {
 	for in, want := range map[string]string{
-		"cluster.votes":       "cluster_votes",
-		"peer-3/recv":         "peer_3_recv",
-		"ok_name":             "ok_name",
-		"0starts_with_digit":  "_0starts_with_digit",
-		"apply_ns.vote":       "apply_ns_vote",
+		"cluster.votes":      "cluster_votes",
+		"peer-3/recv":        "peer_3_recv",
+		"ok_name":            "ok_name",
+		"0starts_with_digit": "_0starts_with_digit",
+		"apply_ns.vote":      "apply_ns_vote",
 	} {
 		if got := Sanitize(in); got != want {
 			t.Errorf("Sanitize(%q) = %q, want %q", in, got, want)

@@ -293,9 +293,9 @@ func decodePartialBody(body []byte, sc *DecodeScratch) (Frame, TraceContext, err
 	t := body[1]
 	base := t &^ traceFlag
 	if base != TypeAggHello && base != TypePartialVerdict {
-		if base >= TypeHello && base <= TypeVoteBatchZ {
-			// Every type has exactly one valid version; re-encoding an
-			// older type at v4 would break the canonical-bytes invariant.
+		if base >= TypeHello && base <= TypeSessionReport {
+			// Every type has exactly one valid version; re-encoding another
+			// type at v4 would break the canonical-bytes invariant.
 			return nil, TraceContext{}, fmt.Errorf("%w: type %d not valid at v%d", ErrVersion, base, PartialVersion)
 		}
 		return nil, TraceContext{}, fmt.Errorf("%w: type %d", ErrUnknownType, base)
@@ -319,6 +319,16 @@ func decodePartialBody(body []byte, sc *DecodeScratch) (Frame, TraceContext, err
 		}
 		payload = payload[:len(payload)-traceContextBytes]
 	}
+	f, err := decodePartialPayload(base, payload, sc)
+	if err != nil {
+		return nil, TraceContext{}, err
+	}
+	return f, tc, nil
+}
+
+// decodePartialPayload parses an AggHello or PartialVerdict payload
+// (shared by the v4 and v5 decode paths).
+func decodePartialPayload(base byte, payload []byte, sc *DecodeScratch) (Frame, error) {
 	if base == TypeAggHello {
 		var h *AggHello
 		if sc != nil {
@@ -327,13 +337,13 @@ func decodePartialBody(body []byte, sc *DecodeScratch) (Frame, TraceContext, err
 			h = &AggHello{}
 		}
 		if len(payload) != h.payloadSize() {
-			return nil, TraceContext{}, fmt.Errorf("%w: agghello payload %d bytes, want %d",
+			return nil, fmt.Errorf("%w: agghello payload %d bytes, want %d",
 				ErrFrameSize, len(payload), h.payloadSize())
 		}
 		if err := h.decodePayload(payload); err != nil {
-			return nil, TraceContext{}, err
+			return nil, err
 		}
-		return h, tc, nil
+		return h, nil
 	}
 	var pv *PartialVerdict
 	if sc != nil {
@@ -342,7 +352,7 @@ func decodePartialBody(body []byte, sc *DecodeScratch) (Frame, TraceContext, err
 		pv = &PartialVerdict{}
 	}
 	if err := pv.decodePayload(payload); err != nil {
-		return nil, TraceContext{}, err
+		return nil, err
 	}
-	return pv, tc, nil
+	return pv, nil
 }

@@ -1,0 +1,627 @@
+// Session frames: the multi-tenant serving layer's wire protocol. A
+// version-5 frame carries a session context so one long-running referee
+// process can multiplex many concurrent testing sessions over a single
+// listener. Two kinds of frames are involved:
+//
+//   - Session control frames (SessionOpen, SessionAccept, SessionReject,
+//     SessionReport) are new types that exist only at SessionVersion. They
+//     carry any session identity inside their payload and take no suffix.
+//
+//   - Established frame types (Hello..PartialVerdict) gain a 4-byte
+//     big-endian session-ID suffix appended after the payload (and before
+//     the optional trace suffix — the type byte's high bit flags tracing
+//     exactly like v3/v4):
+//
+//     [len u32 BE][5][type|traceFlag?][payload][session u32 BE][trace 16B?]
+//
+// The encoding mirrors the v1/v2 trace-suffix trick: session 0 means "no
+// session" and encodes at the frame's classic version, byte-identical to
+// the pre-session protocol, while the decoder rejects an explicit zero
+// session at v5 (ErrSession). Every (frame, session) pair therefore keeps
+// exactly one canonical byte representation, which
+// FuzzSessionFrameRoundTrip pins, and v1–v4 peers interoperate with a v5
+// service unchanged.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// sessionBytes is the encoded size of the session-ID suffix.
+const sessionBytes = 4
+
+// MaxReportTrials caps the per-trial entries one SessionReport may carry.
+// Worst-case encoding (adversarial values, ≤ 16 bytes per trial) stays
+// under MaxBatchFrameBytes with room for the trace suffix.
+const MaxReportTrials = 8192
+
+// maxReportPayloadBytes bounds a report payload so the full frame body
+// (version + type + payload + trace suffix) fits MaxBatchFrameBytes.
+const maxReportPayloadBytes = MaxBatchFrameBytes - 2 - traceContextBytes
+
+// Session decision-rule identifiers carried by SessionOpen. The service
+// reconstructs the referee's rule from the (Rule, Thresh) pair; unknown
+// values are rejected at admission (RejectRule), not at decode, so the
+// reject path can name the offending byte.
+const (
+	// RuleAND is the AND rule: accept iff no node rejects.
+	RuleAND = byte(iota + 1)
+	// RuleThreshold is the threshold rule: reject iff at least Thresh
+	// nodes reject.
+	RuleThreshold
+)
+
+// Typed admission-rejection reasons carried by SessionReject.
+const (
+	// RejectSessions: the service's concurrent-session quota is full.
+	RejectSessions = byte(iota + 1)
+	// RejectBudget: the tenant's in-flight vote budget is exhausted.
+	RejectBudget
+	// RejectShape: the requested shape is malformed (zero K or Trials).
+	RejectShape
+	// RejectRule: the rule byte is not a known decision rule.
+	RejectRule
+	// RejectDefault: a default (legacy-peer) session is already open.
+	RejectDefault
+
+	rejectReasonMax = RejectDefault
+)
+
+// RejectReasonName returns a short lowercase name for a rejection reason
+// byte ("sessions", "budget", ...; "reason<N>" when unknown).
+func RejectReasonName(r byte) string {
+	switch r {
+	case RejectSessions:
+		return "sessions"
+	case RejectBudget:
+		return "budget"
+	case RejectShape:
+		return "shape"
+	case RejectRule:
+		return "rule"
+	case RejectDefault:
+		return "default"
+	default:
+		return fmt.Sprintf("reason%d", r)
+	}
+}
+
+// SessionOpen asks the service to admit a new testing session. It carries
+// the full session shape so the service can build an isolated referee —
+// rule, trial count and seed included — before any node connects.
+type SessionOpen struct {
+	// Tenant identifies the requesting tenant for quota accounting.
+	Tenant uint32
+	// K and Trials are the session shape, as in Hello.
+	K      uint32
+	Trials uint32
+	// Seed is the session's base seed (provenance; votes are a pure
+	// function of (Seed, trial, node) on the client side).
+	Seed uint64
+	// Rule selects the decision rule (RuleAND, RuleThreshold).
+	Rule byte
+	// Thresh is the threshold rule's T; zero for rules without one.
+	Thresh uint32
+	// Sketch marks a sketch-mode session (nodes submit raw collision
+	// statistics; the referee derives votes server-side).
+	Sketch bool
+	// Default additionally registers this session as the target for
+	// legacy sessionless (v1–v4) peers; at most one may be open.
+	Default bool
+	// EarlyClose lets the referee hang up as soon as every trial is
+	// decided.
+	EarlyClose bool
+}
+
+// SessionAccept is the service's admission grant: the session ID every
+// subsequent frame of the session must carry.
+type SessionAccept struct {
+	// Session is the granted session ID, never zero.
+	Session uint32
+	// Tenant echoes the request's tenant.
+	Tenant uint32
+}
+
+// SessionReject is the service's typed admission denial.
+type SessionReject struct {
+	// Tenant echoes the request's tenant.
+	Tenant uint32
+	// Reason is one of the Reject* constants.
+	Reason byte
+}
+
+// SessionReport is the service's closing summary to the session opener:
+// the full per-trial tally, columnar like PartialVerdict. The opener
+// reconstructs the session report from it; transport statistics are
+// deliberately absent so reports compare byte-identical across transports.
+type SessionReport struct {
+	// Session identifies the finished session.
+	Session uint32
+	// K is the session's network size.
+	K uint32
+	// Verdicts holds the per-trial network verdict (true = accept); its
+	// length is the trial count, 1..MaxReportTrials.
+	Verdicts []bool
+	// Rejects, Votes and Missing are per-trial counts: rejecting votes,
+	// votes seen, and votes never seen (quorum-decided trials only).
+	// Per trial, Rejects ≤ Votes and Votes + Missing ≤ K.
+	Rejects []uint32
+	Votes   []uint32
+	Missing []uint32
+}
+
+func (SessionOpen) Type() byte   { return TypeSessionOpen }
+func (SessionAccept) Type() byte { return TypeSessionAccept }
+func (SessionReject) Type() byte { return TypeSessionReject }
+func (SessionReport) Type() byte { return TypeSessionReport }
+
+func (SessionOpen) payloadSize() int   { return 26 }
+func (SessionAccept) payloadSize() int { return 8 }
+func (SessionReject) payloadSize() int { return 5 }
+
+const (
+	openFlagSketch     = 1 << 0
+	openFlagDefault    = 1 << 1
+	openFlagEarlyClose = 1 << 2
+	openFlagMask       = openFlagSketch | openFlagDefault | openFlagEarlyClose
+)
+
+func (o SessionOpen) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, o.Tenant)
+	dst = binary.BigEndian.AppendUint32(dst, o.K)
+	dst = binary.BigEndian.AppendUint32(dst, o.Trials)
+	dst = binary.BigEndian.AppendUint64(dst, o.Seed)
+	dst = append(dst, o.Rule)
+	dst = binary.BigEndian.AppendUint32(dst, o.Thresh)
+	flags := byte(0)
+	if o.Sketch {
+		flags |= openFlagSketch
+	}
+	if o.Default {
+		flags |= openFlagDefault
+	}
+	if o.EarlyClose {
+		flags |= openFlagEarlyClose
+	}
+	return append(dst, flags)
+}
+
+func (o *SessionOpen) decodePayload(p []byte) error {
+	o.Tenant = binary.BigEndian.Uint32(p[0:4])
+	o.K = binary.BigEndian.Uint32(p[4:8])
+	o.Trials = binary.BigEndian.Uint32(p[8:12])
+	o.Seed = binary.BigEndian.Uint64(p[12:20])
+	o.Rule = p[20]
+	o.Thresh = binary.BigEndian.Uint32(p[21:25])
+	flags := p[25]
+	if flags&^byte(openFlagMask) != 0 {
+		return fmt.Errorf("%w: sessionopen flags %#x", ErrFrameSize, flags)
+	}
+	o.Sketch = flags&openFlagSketch != 0
+	o.Default = flags&openFlagDefault != 0
+	o.EarlyClose = flags&openFlagEarlyClose != 0
+	return nil
+}
+
+func (a SessionAccept) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, a.Session)
+	return binary.BigEndian.AppendUint32(dst, a.Tenant)
+}
+
+func (a *SessionAccept) decodePayload(p []byte) error {
+	a.Session = binary.BigEndian.Uint32(p[0:4])
+	a.Tenant = binary.BigEndian.Uint32(p[4:8])
+	if a.Session == 0 {
+		return fmt.Errorf("%w: sessionaccept with session 0", ErrSession)
+	}
+	return nil
+}
+
+func (r SessionReject) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, r.Tenant)
+	return append(dst, r.Reason)
+}
+
+func (r *SessionReject) decodePayload(p []byte) error {
+	r.Tenant = binary.BigEndian.Uint32(p[0:4])
+	r.Reason = p[4]
+	if r.Reason == 0 || r.Reason > rejectReasonMax {
+		return fmt.Errorf("%w: sessionreject reason %d", ErrFrameSize, r.Reason)
+	}
+	return nil
+}
+
+// Report column codec: first value uvarint, then zigzag-uvarint deltas,
+// exactly like the batch columns (bijective over uint32 values).
+func appendReportColumn(dst []byte, vals []uint32) []byte {
+	prev := int64(vals[0])
+	dst = binary.AppendUvarint(dst, uint64(prev))
+	for i := 1; i < len(vals); i++ {
+		v := int64(vals[i])
+		dst = binary.AppendUvarint(dst, zigzag(v-prev))
+		prev = v
+	}
+	return dst
+}
+
+func reportColumnSize(vals []uint32) int {
+	prev := int64(vals[0])
+	n := uvarintLen(uint64(prev))
+	for i := 1; i < len(vals); i++ {
+		v := int64(vals[i])
+		n += uvarintLen(zigzag(v - prev))
+		prev = v
+	}
+	return n
+}
+
+func decodeReportColumn(p []byte, off int, vals []uint32) (int, error) {
+	first, off, err := readUvarint(p, off)
+	if err != nil {
+		return 0, err
+	}
+	if first > math.MaxUint32 {
+		return 0, fmt.Errorf("%w: report column value %d out of range", ErrFrameSize, first)
+	}
+	vals[0] = uint32(first)
+	prev := int64(first)
+	for i := 1; i < len(vals); i++ {
+		u, noff, err := readUvarint(p, off)
+		if err != nil {
+			return 0, err
+		}
+		d := unzigzag(u)
+		if d > math.MaxUint32 || d < -math.MaxUint32 {
+			return 0, fmt.Errorf("%w: report column delta %d out of range", ErrFrameSize, d)
+		}
+		val := prev + d
+		if val < 0 || val > math.MaxUint32 {
+			return 0, fmt.Errorf("%w: report column value %d out of range", ErrFrameSize, val)
+		}
+		vals[i] = uint32(val)
+		prev = val
+		off = noff
+	}
+	return off, nil
+}
+
+func (r SessionReport) payloadSize() int {
+	n := 4 + 4 + uvarintLen(uint64(len(r.Verdicts)))
+	n += (len(r.Verdicts) + 7) / 8
+	n += reportColumnSize(r.Rejects)
+	n += reportColumnSize(r.Votes)
+	n += reportColumnSize(r.Missing)
+	return n
+}
+
+func (r SessionReport) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, r.Session)
+	dst = binary.BigEndian.AppendUint32(dst, r.K)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Verdicts)))
+	nb := (len(r.Verdicts) + 7) / 8
+	base := len(dst)
+	for i := 0; i < nb; i++ {
+		dst = append(dst, 0)
+	}
+	for i := range r.Verdicts {
+		if r.Verdicts[i] {
+			dst[base+i>>3] |= 1 << (i & 7)
+		}
+	}
+	dst = appendReportColumn(dst, r.Rejects)
+	dst = appendReportColumn(dst, r.Votes)
+	return appendReportColumn(dst, r.Missing)
+}
+
+func (r *SessionReport) decodePayload(p []byte) error {
+	if len(p) < 10 {
+		return fmt.Errorf("%w: %d-byte report payload", ErrFrameSize, len(p))
+	}
+	r.Session = binary.BigEndian.Uint32(p[0:4])
+	if r.Session == 0 {
+		return fmt.Errorf("%w: sessionreport with session 0", ErrSession)
+	}
+	r.K = binary.BigEndian.Uint32(p[4:8])
+	cnt, off, err := readUvarint(p, 8)
+	if err != nil {
+		return err
+	}
+	if cnt == 0 {
+		return fmt.Errorf("%w: empty session report", ErrFrameSize)
+	}
+	if cnt > MaxReportTrials {
+		return fmt.Errorf("%w: report of %d trials (limit %d)", ErrOversize, cnt, MaxReportTrials)
+	}
+	count := int(cnt)
+	if cap(r.Verdicts) < count {
+		r.Verdicts = make([]bool, count)
+		r.Rejects = make([]uint32, count)
+		r.Votes = make([]uint32, count)
+		r.Missing = make([]uint32, count)
+	} else {
+		r.Verdicts = r.Verdicts[:count]
+		r.Rejects = r.Rejects[:count]
+		r.Votes = r.Votes[:count]
+		r.Missing = r.Missing[:count]
+	}
+	nb := (count + 7) / 8
+	if len(p)-off < nb {
+		return fmt.Errorf("%w: report bitset truncated", ErrFrameSize)
+	}
+	bits := p[off : off+nb]
+	if rem := count & 7; rem != 0 && bits[nb-1]>>rem != 0 {
+		return fmt.Errorf("%w: nonzero trailing report bits", ErrFrameSize)
+	}
+	for i := range r.Verdicts {
+		r.Verdicts[i] = bits[i>>3]>>(i&7)&1 == 1
+	}
+	off += nb
+	if off, err = decodeReportColumn(p, off, r.Rejects); err != nil {
+		return err
+	}
+	if off, err = decodeReportColumn(p, off, r.Votes); err != nil {
+		return err
+	}
+	if off, err = decodeReportColumn(p, off, r.Missing); err != nil {
+		return err
+	}
+	if off != len(p) {
+		return fmt.Errorf("%w: %d trailing report bytes", ErrFrameSize, len(p)-off)
+	}
+	for t := 0; t < count; t++ {
+		if r.Rejects[t] > r.Votes[t] {
+			return fmt.Errorf("%w: report trial %d with %d rejects over %d votes", ErrFrameSize, t, r.Rejects[t], r.Votes[t])
+		}
+		if uint64(r.Votes[t])+uint64(r.Missing[t]) > uint64(r.K) {
+			return fmt.Errorf("%w: report trial %d with %d votes + %d missing over k=%d",
+				ErrFrameSize, t, r.Votes[t], r.Missing[t], r.K)
+		}
+	}
+	return nil
+}
+
+// AppendSessionReport appends r's wire encoding carrying tc to dst,
+// enforcing the trial-count and payload-size caps the decoder will apply.
+func AppendSessionReport(dst []byte, r *SessionReport, tc TraceContext) ([]byte, error) {
+	n := len(r.Verdicts)
+	if n == 0 {
+		return dst, fmt.Errorf("wire: empty session report")
+	}
+	if n > MaxReportTrials {
+		return dst, fmt.Errorf("%w: report of %d trials (limit %d)", ErrOversize, n, MaxReportTrials)
+	}
+	if len(r.Rejects) != n || len(r.Votes) != n || len(r.Missing) != n {
+		return dst, fmt.Errorf("wire: ragged session report columns")
+	}
+	if size := r.payloadSize(); size > maxReportPayloadBytes {
+		return dst, fmt.Errorf("%w: %d-byte report payload (limit %d)", ErrOversize, size, maxReportPayloadBytes)
+	}
+	return AppendTraced(dst, r, tc), nil
+}
+
+// AppendSession appends f's wire encoding bound to a session. Session 0
+// means "no session": the frame encodes at its classic version,
+// byte-identical to Append/AppendTraced, so pre-session peers decode it
+// unchanged. A nonzero session stamps the frame at SessionVersion with the
+// 4-byte session suffix. Session control frames carry their session inside
+// the payload and never take a suffix, whatever session says.
+func AppendSession(dst []byte, f Frame, session uint32, tc TraceContext) []byte {
+	t := f.Type()
+	if session == 0 || t >= TypeSessionOpen {
+		return AppendTraced(dst, f, tc)
+	}
+	return appendFlaggedFrame(dst, SessionVersion, t, f.payloadSize()+sessionBytes, func(d []byte) []byte {
+		d = f.appendPayload(d)
+		return binary.BigEndian.AppendUint32(d, session)
+	}, tc)
+}
+
+// EncodedSizeSession returns the on-wire size of f when bound to session
+// and carrying tc.
+func EncodedSizeSession(f Frame, session uint32, tc TraceContext) int {
+	n := EncodedSizeTraced(f, tc)
+	if session != 0 && f.Type() < TypeSessionOpen {
+		n += sessionBytes
+	}
+	return n
+}
+
+// WriteFrameSession writes f's session-bound encoding to w in one Write
+// call; session 0 is byte-identical to WriteFrameTraced.
+func WriteFrameSession(w io.Writer, f Frame, session uint32, tc TraceContext) error {
+	buf := make([]byte, 0, EncodedSizeSession(f, session, tc))
+	buf = AppendSession(buf, f, session, tc)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("wire: write %T: %w", f, err)
+	}
+	return nil
+}
+
+// AppendSession is the session-bound form of BatchEncoder.Append: raw or
+// opportunistically compressed batch payload, then the session suffix.
+// Session 0 delegates to the classic encoding.
+func (e *BatchEncoder) AppendSession(dst []byte, b *VoteBatch, session uint32, tc TraceContext, compress bool) ([]byte, error) {
+	if session == 0 {
+		return e.Append(dst, b, tc, compress)
+	}
+	if len(b.Votes) == 0 {
+		return dst, fmt.Errorf("wire: empty vote batch")
+	}
+	if len(b.Votes) > MaxBatchVotes {
+		return dst, fmt.Errorf("%w: batch of %d votes (limit %d)", ErrOversize, len(b.Votes), MaxBatchVotes)
+	}
+	size := b.payloadSize()
+	if size+sessionBytes > maxBatchPayloadBytes {
+		return dst, fmt.Errorf("%w: %d-byte batch payload (limit %d)", ErrOversize, size, maxBatchPayloadBytes-sessionBytes)
+	}
+	if compress && size >= MinCompressibleSize {
+		e.raw = b.appendPayload(e.raw[:0])
+		if comp := CompressBlock(e.raw, e.comp[:0]); comp != nil {
+			e.comp = comp
+			zsize := uvarintLen(uint64(size)) + len(comp)
+			if zsize < size && e.roundTrips(comp, size) {
+				return appendFlaggedFrame(dst, SessionVersion, TypeVoteBatchZ, zsize+sessionBytes, func(d []byte) []byte {
+					d = binary.AppendUvarint(d, uint64(size))
+					d = append(d, comp...)
+					return binary.BigEndian.AppendUint32(d, session)
+				}, tc), nil
+			}
+		}
+		return appendFlaggedFrame(dst, SessionVersion, TypeVoteBatch, size+sessionBytes, func(d []byte) []byte {
+			d = append(d, e.raw...)
+			return binary.BigEndian.AppendUint32(d, session)
+		}, tc), nil
+	}
+	return AppendSession(dst, b, session, tc), nil
+}
+
+// AppendPartialSession is the session-bound form of AppendPartial.
+func AppendPartialSession(dst []byte, p *PartialVerdict, session uint32, tc TraceContext) ([]byte, error) {
+	if session == 0 {
+		return AppendPartial(dst, p, tc)
+	}
+	if len(p.Entries) == 0 {
+		return dst, fmt.Errorf("wire: empty partial verdict")
+	}
+	if len(p.Entries) > MaxPartialEntries {
+		return dst, fmt.Errorf("%w: partial of %d entries (limit %d)", ErrOversize, len(p.Entries), MaxPartialEntries)
+	}
+	if size := p.payloadSize(); size+sessionBytes > maxPartialPayloadBytes {
+		return dst, fmt.Errorf("%w: %d-byte partial payload (limit %d)", ErrOversize, size, maxPartialPayloadBytes-sessionBytes)
+	}
+	return AppendSession(dst, p, session, tc), nil
+}
+
+// decodeSessionBody parses a SessionVersion frame body: trace flag in the
+// type byte, session suffix on established types, control-frame payloads
+// for the session types themselves.
+func decodeSessionBody(body []byte, sc *DecodeScratch) (Frame, TraceContext, uint32, error) {
+	t := body[1]
+	base := t &^ traceFlag
+	if base < TypeHello || base > TypeSessionReport {
+		return nil, TraceContext{}, 0, fmt.Errorf("%w: type %d", ErrUnknownType, base)
+	}
+	if len(body) > FrameCap(base) {
+		return nil, TraceContext{}, 0, fmt.Errorf("%w: %d-byte %s frame (limit %d)",
+			ErrOversize, len(body), TypeName(base), FrameCap(base))
+	}
+	payload := body[2:]
+	var tc TraceContext
+	if t&traceFlag != 0 {
+		if len(payload) < traceContextBytes {
+			return nil, TraceContext{}, 0, fmt.Errorf("%w: traced %s frame with %d-byte body",
+				ErrFrameSize, TypeName(base), len(body))
+		}
+		tail := payload[len(payload)-traceContextBytes:]
+		tc.Trace = binary.BigEndian.Uint64(tail[:8])
+		tc.Span = binary.BigEndian.Uint64(tail[8:])
+		if tc.Trace == 0 {
+			return nil, TraceContext{}, 0, fmt.Errorf("%w: zero trace ID on a v%d frame", ErrTraceContext, SessionVersion)
+		}
+		payload = payload[:len(payload)-traceContextBytes]
+	}
+	var session uint32
+	if base < TypeSessionOpen {
+		if len(payload) < sessionBytes {
+			return nil, TraceContext{}, 0, fmt.Errorf("%w: %s frame missing session suffix", ErrFrameSize, TypeName(base))
+		}
+		session = binary.BigEndian.Uint32(payload[len(payload)-sessionBytes:])
+		if session == 0 {
+			// Session 0 has exactly one canonical encoding: the classic
+			// version without the suffix.
+			return nil, TraceContext{}, 0, fmt.Errorf("%w: session 0 must encode at v%d or below", ErrSession, PartialVersion)
+		}
+		payload = payload[:len(payload)-sessionBytes]
+	}
+	var f Frame
+	switch base {
+	case TypeVoteBatch, TypeVoteBatchZ:
+		vb, err := decodeBatchPayload(base, payload, sc)
+		if err != nil {
+			return nil, TraceContext{}, 0, err
+		}
+		return vb, tc, session, nil
+	case TypeAggHello, TypePartialVerdict:
+		af, err := decodePartialPayload(base, payload, sc)
+		if err != nil {
+			return nil, TraceContext{}, 0, err
+		}
+		return af, tc, session, nil
+	case TypeSessionReport:
+		var r *SessionReport
+		if sc != nil {
+			r = &sc.report
+		} else {
+			r = &SessionReport{}
+		}
+		if err := r.decodePayload(payload); err != nil {
+			return nil, TraceContext{}, 0, err
+		}
+		return r, tc, 0, nil
+	case TypeSessionOpen:
+		if sc != nil {
+			f = &sc.open
+		} else {
+			f = &SessionOpen{}
+		}
+	case TypeSessionAccept:
+		if sc != nil {
+			f = &sc.accept
+		} else {
+			f = &SessionAccept{}
+		}
+	case TypeSessionReject:
+		if sc != nil {
+			f = &sc.reject
+		} else {
+			f = &SessionReject{}
+		}
+	default:
+		f = scratchSingleFrame(base, sc)
+	}
+	if len(payload) != f.payloadSize() {
+		return nil, TraceContext{}, 0, fmt.Errorf("%w: type %d v%d payload %d bytes, want %d",
+			ErrFrameSize, base, SessionVersion, len(payload), f.payloadSize())
+	}
+	if err := f.decodePayload(payload); err != nil {
+		return nil, TraceContext{}, 0, err
+	}
+	return f, tc, session, nil
+}
+
+// BodyType returns the base frame type of an encoded frame body with the
+// trace flag stripped, or 0 when the body is too short to carry one. It
+// never validates the body — use it to route a frame before the full
+// decode, never instead of it.
+func BodyType(body []byte) byte {
+	if len(body) < 2 {
+		return 0
+	}
+	return body[1] &^ traceFlag
+}
+
+// SessionOf extracts the session ID a frame body is bound to without a
+// full decode: the trailing suffix of an established-type SessionVersion
+// frame, or 0 for earlier versions, control frames, and bodies too short
+// to carry a suffix (which the full decode will reject). Like BodyType it
+// is a routing peek, not a validator.
+func SessionOf(body []byte) uint32 {
+	if len(body) < 2 || body[0] != SessionVersion {
+		return 0
+	}
+	base := body[1] &^ traceFlag
+	if base >= TypeSessionOpen {
+		return 0
+	}
+	end := len(body)
+	if body[1]&traceFlag != 0 {
+		end -= traceContextBytes
+	}
+	if end < 2+sessionBytes {
+		return 0
+	}
+	return binary.BigEndian.Uint32(body[end-sessionBytes : end])
+}

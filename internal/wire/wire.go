@@ -9,21 +9,26 @@
 //	[4-byte big-endian frame length][1-byte version][1-byte type][payload]
 //
 // where the length counts the version, type and payload bytes (not the
-// prefix itself). Four versions are in play: version 1 frames carry the
+// prefix itself). Five versions are in play: version 1 frames carry the
 // bare payload; version 2 frames append a 16-byte trace context (trace ID +
 // span ID, both big-endian uint64, trace ID nonzero) that links the frame
 // into the telemetry plane's distributed trace; version 3 frames carry the
 // batch types (VoteBatch, and its compressed form) whose type byte's high
 // bit flags an optional trace-context suffix; version 4 frames carry the
 // aggregation-tier types (AggHello, PartialVerdict — partial.go) with the
-// same high-bit trace flagging. The encoder stamps the lowest version that
-// can represent a frame — untraced single-vote traffic is byte-identical to
-// the pre-trace protocol, traced single-vote traffic is byte-identical to
-// v2 — and the decoder accepts all four, rejecting anything newer with
-// ErrVersion. Each frame has exactly one valid version (batch types only at
-// v3, aggregation types only at v4, everything else at v1/v2), so every
-// message keeps a single canonical byte representation. Trace context is
-// observability metadata only: the referee's verdicts never depend on it.
+// same high-bit trace flagging; version 5 frames carry the multi-tenant
+// session context (session.go) — the session control types, and any
+// established type bound to a nonzero session ID via a 4-byte suffix. The
+// encoder stamps the lowest version that can represent a frame — untraced
+// single-vote traffic is byte-identical to the pre-trace protocol, traced
+// single-vote traffic is byte-identical to v2, session-0 traffic is
+// byte-identical to v4 and below — and the decoder accepts all five,
+// rejecting anything newer with ErrVersion. Each frame has exactly one
+// valid version (batch types only at v3, aggregation types only at v4,
+// session-bound and session-control frames only at v5, everything else at
+// v1/v2), so every message keeps a single canonical byte representation.
+// Trace context is observability metadata only: the referee's verdicts
+// never depend on it.
 //
 // Single-vote frames are tiny and fixed-size per type; the decoder
 // enforces both the per-type payload size and the MaxFrameBytes cap before
@@ -49,12 +54,19 @@ import (
 	"io"
 )
 
-// Version is the current protocol version: version-4 frames carry the
-// aggregation-tier types. The encoder stamps each frame at the lowest
-// version that can represent it (see TraceVersion), so old frame types
-// never encode at v3/v4 and old decoders keep accepting untraced/traced
-// single-vote traffic.
-const Version = 4
+// Version is the current protocol version: version-5 frames carry the
+// multi-tenant session context. The encoder stamps each frame at the
+// lowest version that can represent it (see TraceVersion), so old frame
+// types never encode at v3/v4/v5 and old decoders keep accepting
+// untraced/traced single-vote traffic.
+const Version = 5
+
+// SessionVersion is the version byte of session-context frames: the
+// session control types (SessionOpen, SessionAccept, SessionReject,
+// SessionReport) and any established frame type carrying a nonzero
+// session-ID suffix (session.go). They are only legal at this version and
+// flag their optional trace suffix through the type byte like v3/v4.
+const SessionVersion = 5
 
 // BatchVersion is the version byte of batch frames (VoteBatch and its
 // compressed form). Batch types are only legal at this version.
@@ -93,7 +105,7 @@ const MaxBatchFrameBytes = 1 << 17
 // MaxFrameBytes for everything else (including unknown types, which are
 // rejected before the cap matters).
 func FrameCap(t byte) int {
-	if t == TypeVoteBatch || t == TypeVoteBatchZ || t == TypePartialVerdict {
+	if t == TypeVoteBatch || t == TypeVoteBatchZ || t == TypePartialVerdict || t == TypeSessionReport {
 		return MaxBatchFrameBytes
 	}
 	return MaxFrameBytes
@@ -144,6 +156,16 @@ const (
 	// TypePartialVerdict carries an aggregator's per-trial partial sums
 	// upstream (partial.go).
 	TypePartialVerdict
+	// TypeSessionOpen asks the multi-tenant service to admit a new testing
+	// session (session.go).
+	TypeSessionOpen
+	// TypeSessionAccept grants admission, assigning the session ID.
+	TypeSessionAccept
+	// TypeSessionReject denies admission with a typed reason.
+	TypeSessionReject
+	// TypeSessionReport is the service's closing per-trial tally to the
+	// session opener.
+	TypeSessionReport
 )
 
 // traceFlag is the high bit of a BatchVersion frame's type byte: set when
@@ -173,6 +195,14 @@ func TypeName(t byte) string {
 		return "agghello"
 	case TypePartialVerdict:
 		return "partialverdict"
+	case TypeSessionOpen:
+		return "sessionopen"
+	case TypeSessionAccept:
+		return "sessionaccept"
+	case TypeSessionReject:
+		return "sessionreject"
+	case TypeSessionReport:
+		return "sessionreport"
 	default:
 		return fmt.Sprintf("type%d", t)
 	}
@@ -197,6 +227,10 @@ var (
 	// ErrTraceContext marks a traced frame whose trace context is
 	// malformed (zero trace ID).
 	ErrTraceContext = errors.New("wire: invalid trace context")
+	// ErrSession marks a malformed session context: a zero session ID on a
+	// version-5 session-suffixed frame (session 0 must encode at the
+	// frame's classic version) or in a control frame requiring one.
+	ErrSession = errors.New("wire: invalid session ID")
 )
 
 // Frame is one protocol message. Implementations are small value types;
@@ -369,6 +403,8 @@ func AppendTraced(dst []byte, f Frame, tc TraceContext) []byte {
 		return appendFlaggedFrame(dst, BatchVersion, t, f.payloadSize(), f.appendPayload, tc)
 	case TypeAggHello, TypePartialVerdict:
 		return appendFlaggedFrame(dst, PartialVersion, t, f.payloadSize(), f.appendPayload, tc)
+	case TypeSessionOpen, TypeSessionAccept, TypeSessionReject, TypeSessionReport:
+		return appendFlaggedFrame(dst, SessionVersion, t, f.payloadSize(), f.appendPayload, tc)
 	}
 	if tc.IsZero() {
 		n := 2 + f.payloadSize() // version + type + payload
@@ -465,67 +501,91 @@ type DecodeScratch struct {
 	// aggHello and partial back the aggregation-tier frame types.
 	aggHello AggHello
 	partial  PartialVerdict
+	// open, accept, reject and report back the session control types.
+	open   SessionOpen
+	accept SessionAccept
+	reject SessionReject
+	report SessionReport
 	// zbuf holds a decompressed batch payload between decodes.
 	zbuf []byte
 }
 
 // decodeBody parses version, type, payload and optional trace context from
-// a complete frame body. With a non-nil scratch the returned frame aliases
-// scratch storage instead of allocating.
+// a complete frame body, validating but dropping any session context. With
+// a non-nil scratch the returned frame aliases scratch storage instead of
+// allocating.
 func decodeBody(body []byte, sc *DecodeScratch) (Frame, TraceContext, error) {
+	f, tc, _, err := decodeBodyAll(body, sc)
+	return f, tc, err
+}
+
+// scratchSingleFrame returns the scratch-held value for a single-vote
+// frame type (nil scratch allocates). The scratch values avoid a per-frame
+// allocation on the referee's hot decode loop; decodePayload writes every
+// field (all payloads are fixed-shape), so no reset between reuses is
+// needed.
+func scratchSingleFrame(t byte, sc *DecodeScratch) Frame {
+	if sc == nil {
+		switch t {
+		case TypeHello:
+			return &Hello{}
+		case TypeVote:
+			return &Vote{}
+		case TypeSketch:
+			return &Sketch{}
+		case TypeDone:
+			return &Done{}
+		default:
+			return &Verdict{}
+		}
+	}
+	switch t {
+	case TypeHello:
+		return &sc.hello
+	case TypeVote:
+		return &sc.vote
+	case TypeSketch:
+		return &sc.sketch
+	case TypeDone:
+		return &sc.done
+	default:
+		return &sc.verdict
+	}
+}
+
+// decodeBodyAll is the full-fidelity body decoder: frame, trace context
+// and session ID (zero below SessionVersion and for control frames, which
+// carry any session identity in their payload instead).
+func decodeBodyAll(body []byte, sc *DecodeScratch) (Frame, TraceContext, uint32, error) {
 	v := body[0]
 	if v < MinVersion || v > Version {
-		return nil, TraceContext{}, fmt.Errorf("%w: got %d, want %d..%d", ErrVersion, v, MinVersion, Version)
+		return nil, TraceContext{}, 0, fmt.Errorf("%w: got %d, want %d..%d", ErrVersion, v, MinVersion, Version)
 	}
-	if v == BatchVersion {
-		return decodeBatchBody(body, sc)
+	switch v {
+	case BatchVersion:
+		f, tc, err := decodeBatchBody(body, sc)
+		return f, tc, 0, err
+	case PartialVersion:
+		f, tc, err := decodePartialBody(body, sc)
+		return f, tc, 0, err
+	case SessionVersion:
+		return decodeSessionBody(body, sc)
 	}
-	if v == PartialVersion {
-		return decodePartialBody(body, sc)
-	}
-	// The scratch-held values avoid a per-frame allocation on the referee's
-	// hot decode loop; decodePayload writes every field (all payloads are
-	// fixed-shape), so no reset between reuses is needed.
 	var f Frame
 	switch t := body[1]; t {
-	case TypeHello:
-		if sc != nil {
-			f = &sc.hello
-		} else {
-			f = &Hello{}
-		}
-	case TypeVote:
-		if sc != nil {
-			f = &sc.vote
-		} else {
-			f = &Vote{}
-		}
-	case TypeSketch:
-		if sc != nil {
-			f = &sc.sketch
-		} else {
-			f = &Sketch{}
-		}
-	case TypeDone:
-		if sc != nil {
-			f = &sc.done
-		} else {
-			f = &Done{}
-		}
-	case TypeVerdict:
-		if sc != nil {
-			f = &sc.verdict
-		} else {
-			f = &Verdict{}
-		}
+	case TypeHello, TypeVote, TypeSketch, TypeDone, TypeVerdict:
+		f = scratchSingleFrame(t, sc)
 	case TypeVoteBatch, TypeVoteBatchZ:
-		return nil, TraceContext{}, fmt.Errorf("%w: batch type %d requires v%d, got v%d",
+		return nil, TraceContext{}, 0, fmt.Errorf("%w: batch type %d requires v%d, got v%d",
 			ErrVersion, t, BatchVersion, v)
 	case TypeAggHello, TypePartialVerdict:
-		return nil, TraceContext{}, fmt.Errorf("%w: aggregation type %d requires v%d, got v%d",
+		return nil, TraceContext{}, 0, fmt.Errorf("%w: aggregation type %d requires v%d, got v%d",
 			ErrVersion, t, PartialVersion, v)
+	case TypeSessionOpen, TypeSessionAccept, TypeSessionReject, TypeSessionReport:
+		return nil, TraceContext{}, 0, fmt.Errorf("%w: session type %d requires v%d, got v%d",
+			ErrVersion, t, SessionVersion, v)
 	default:
-		return nil, TraceContext{}, fmt.Errorf("%w: type %d", ErrUnknownType, t)
+		return nil, TraceContext{}, 0, fmt.Errorf("%w: type %d", ErrUnknownType, t)
 	}
 	payload := body[2:]
 	var tc TraceContext
@@ -533,24 +593,24 @@ func decodeBody(body []byte, sc *DecodeScratch) (Frame, TraceContext, error) {
 		// Version 2 requires the trace-context suffix.
 		want := f.payloadSize() + traceContextBytes
 		if len(payload) != want {
-			return nil, TraceContext{}, fmt.Errorf("%w: type %d v%d payload %d bytes, want %d",
+			return nil, TraceContext{}, 0, fmt.Errorf("%w: type %d v%d payload %d bytes, want %d",
 				ErrFrameSize, body[1], v, len(payload), want)
 		}
 		tail := payload[f.payloadSize():]
 		tc.Trace = binary.BigEndian.Uint64(tail[:8])
 		tc.Span = binary.BigEndian.Uint64(tail[8:])
 		if tc.Trace == 0 {
-			return nil, TraceContext{}, fmt.Errorf("%w: zero trace ID on a v%d frame", ErrTraceContext, v)
+			return nil, TraceContext{}, 0, fmt.Errorf("%w: zero trace ID on a v%d frame", ErrTraceContext, v)
 		}
 		payload = payload[:f.payloadSize()]
 	} else if len(payload) != f.payloadSize() {
-		return nil, TraceContext{}, fmt.Errorf("%w: type %d payload %d bytes, want %d",
+		return nil, TraceContext{}, 0, fmt.Errorf("%w: type %d payload %d bytes, want %d",
 			ErrFrameSize, body[1], len(payload), f.payloadSize())
 	}
 	if err := f.decodePayload(payload); err != nil {
-		return nil, TraceContext{}, err
+		return nil, TraceContext{}, 0, err
 	}
-	return f, tc, nil
+	return f, tc, 0, nil
 }
 
 // decodeBatchBody parses a BatchVersion frame body: trace flag in the type
@@ -559,7 +619,7 @@ func decodeBatchBody(body []byte, sc *DecodeScratch) (Frame, TraceContext, error
 	t := body[1]
 	base := t &^ traceFlag
 	if base != TypeVoteBatch && base != TypeVoteBatchZ {
-		if base >= TypeHello && base <= TypePartialVerdict {
+		if base >= TypeHello && base <= TypeSessionReport {
 			// Every type has exactly one valid version; re-encoding another
 			// type at v3 would break the canonical-bytes invariant.
 			return nil, TraceContext{}, fmt.Errorf("%w: type %d not valid at v%d", ErrVersion, base, BatchVersion)
@@ -585,6 +645,16 @@ func decodeBatchBody(body []byte, sc *DecodeScratch) (Frame, TraceContext, error
 		}
 		payload = payload[:len(payload)-traceContextBytes]
 	}
+	vb, err := decodeBatchPayload(base, payload, sc)
+	if err != nil {
+		return nil, TraceContext{}, err
+	}
+	return vb, tc, nil
+}
+
+// decodeBatchPayload parses a raw or compressed batch payload (shared by
+// the v3 and v5 decode paths).
+func decodeBatchPayload(base byte, payload []byte, sc *DecodeScratch) (*VoteBatch, error) {
 	var vb *VoteBatch
 	if sc != nil {
 		vb = &sc.batch
@@ -594,19 +664,19 @@ func decodeBatchBody(body []byte, sc *DecodeScratch) (Frame, TraceContext, error
 	if base == TypeVoteBatch {
 		vb.Compressed, vb.Saved = false, 0
 		if err := vb.decodePayload(payload); err != nil {
-			return nil, TraceContext{}, err
+			return nil, err
 		}
-		return vb, tc, nil
+		return vb, nil
 	}
 	raw, saved, err := decodeZPayload(payload, sc)
 	if err != nil {
-		return nil, TraceContext{}, err
+		return nil, err
 	}
 	if err := vb.decodePayload(raw); err != nil {
-		return nil, TraceContext{}, err
+		return nil, err
 	}
 	vb.Compressed, vb.Saved = true, saved
-	return vb, tc, nil
+	return vb, nil
 }
 
 // WriteFrame writes f's encoding to w in one Write call (frames are small
@@ -668,6 +738,14 @@ func DecodeBody(body []byte) (Frame, TraceContext, error) {
 // The frame is only valid until the next decode with the same scratch.
 func DecodeBodyScratch(body []byte, sc *DecodeScratch) (Frame, TraceContext, error) {
 	return decodeBody(body, sc)
+}
+
+// DecodeBodySession is the session-aware form of DecodeBodyScratch: it
+// additionally returns the frame's session ID — zero for frames below
+// SessionVersion and for the session control types, which carry any
+// session identity inside their payload. Scratch may be nil.
+func DecodeBodySession(body []byte, sc *DecodeScratch) (Frame, TraceContext, uint32, error) {
+	return decodeBodyAll(body, sc)
 }
 
 // ReadBody reads the next frame's body into the reader's internal buffer
